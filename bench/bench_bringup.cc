@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Experiment E8 — paper §VII-C: container bring-up time ("docker start"
+ * of a function container from a pre-created image).
+ *
+ * Bring-up = the kernel's fork work (page-table copying vs fusing) plus
+ * the runtime-initialization phase of the function container (loading
+ * shared libraries, CoW-ing config pages) executed on the timing core.
+ *
+ * Paper reference point: BabelFish speeds up function bring-up by 8%;
+ * most of the remaining overhead is the Docker engine / kernel
+ * interaction.
+ */
+
+#include "bench/common.hh"
+
+using namespace bfbench;
+
+int
+main()
+{
+    bf::detail::setVerbose(false);
+    const RunConfig cfg = RunConfig::fromEnv();
+
+    std::printf("§VII-C — Function container bring-up time\n");
+    rule();
+    std::printf("%-12s %14s %14s %14s\n", "config", "fork Kcyc",
+                "init Mcyc", "total Mcyc");
+
+    double totals[2] = {0, 0};
+    int idx = 0;
+    for (bool fish : {false, true}) {
+        const auto params = fish ? core::SystemParams::babelfish()
+                                 : core::SystemParams::baseline();
+        const auto r = runFaas(params, /*sparse=*/false, cfg);
+        std::printf("%-12s %14.1f %14.3f %14.3f\n",
+                    fish ? "BabelFish" : "Baseline", r.fork_work / 1e3,
+                    (r.bringup - r.fork_work) / 1e6, r.bringup / 1e6);
+        totals[idx++] = r.bringup;
+    }
+    rule();
+    std::printf("bring-up time reduction: %.1f%%   (paper: 8%%)\n",
+                reduction(totals[0], totals[1]));
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Experiment E2 — paper Fig. 10a: L2 TLB MPKI reduction attained by
+ * BabelFish, data and instruction entries separately, for Data Serving,
+ * Compute and Function workloads.
+ *
+ * Paper reference points: Data Serving data MPKI −66%, instruction MPKI
+ * −96%; good reductions for Compute; smaller reductions for Functions
+ * (short-lived, interfered by the docker engine/OS).
+ */
+
+#include "bench/common.hh"
+
+using namespace bfbench;
+
+int
+main()
+{
+    bf::detail::setVerbose(false);
+    const RunConfig cfg = RunConfig::fromEnv();
+
+    std::printf("Fig. 10a — L2 TLB MPKI reduction under BabelFish\n");
+    rule();
+    std::printf("%-12s %10s %10s %8s | %9s %9s %8s\n", "workload",
+                "dMPKI(b)", "dMPKI(bf)", "d-red%", "iMPKI(b)",
+                "iMPKI(bf)", "i-red%");
+    rule();
+
+    double dsum = 0, isum = 0;
+    unsigned count = 0;
+    auto row = [&](const std::string &name, double db, double df,
+                   double ib, double if_) {
+        std::printf("%-12s %10.4f %10.4f %7.1f%% | %9.5f %9.5f %7.1f%%\n",
+                    name.c_str(), db, df, reduction(db, df), ib, if_,
+                    reduction(ib, if_));
+        dsum += reduction(db, df);
+        isum += reduction(ib, if_);
+        ++count;
+    };
+
+    std::vector<workloads::AppProfile> apps;
+    for (auto p : workloads::AppProfile::dataServing())
+        apps.push_back(p);
+    for (auto p : workloads::AppProfile::compute())
+        apps.push_back(p);
+
+    for (const auto &profile : apps) {
+        const auto base =
+            runApp(profile, core::SystemParams::baseline(), cfg);
+        const auto fish =
+            runApp(profile, core::SystemParams::babelfish(), cfg);
+        row(profile.name, base.data_mpki, fish.data_mpki,
+            base.instr_mpki, fish.instr_mpki);
+    }
+
+    for (bool sparse : {false, true}) {
+        const auto base =
+            runFaas(core::SystemParams::baseline(), sparse, cfg);
+        const auto fish =
+            runFaas(core::SystemParams::babelfish(), sparse, cfg);
+        row(sparse ? "fn-sparse" : "fn-dense", base.data_mpki,
+            fish.data_mpki, base.instr_mpki, fish.instr_mpki);
+    }
+
+    rule();
+    std::printf("mean reduction: data %.1f%%, instruction %.1f%%\n",
+                dsum / count, isum / count);
+    std::printf("(paper: data serving −66%% data / −96%% instruction; "
+                "functions see smaller reductions)\n");
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Experiment E4 — paper Fig. 11: latency / execution-time reduction
+ * attained by BabelFish.
+ *
+ * Paper reference points: Data Serving mean −11% and 95th-percentile
+ * tail −18% (Mongo/Arango > HTTPd); Compute execution time −11%
+ * (GraphChi < FIO); Functions −10% dense, −55% sparse (trailing two of
+ * each group of three; the leader is cold in both configurations).
+ */
+
+#include "bench/common.hh"
+
+using namespace bfbench;
+
+int
+main()
+{
+    bf::detail::setVerbose(false);
+    const RunConfig cfg = RunConfig::fromEnv();
+
+    std::printf("Fig. 11 — Latency/time reduction attained by "
+                "BabelFish\n");
+    rule();
+
+    // ---- Data Serving: mean and tail request latency.
+    std::printf("%-12s %12s %12s %9s %9s\n", "data serving", "mean(b)",
+                "mean(bf)", "mean-red", "tail-red");
+    rule();
+    double mean_sum = 0, tail_sum = 0;
+    const auto serving = workloads::AppProfile::dataServing();
+    for (const auto &profile : serving) {
+        const auto base =
+            runApp(profile, core::SystemParams::baseline(), cfg);
+        const auto fish =
+            runApp(profile, core::SystemParams::babelfish(), cfg);
+        const double mr = reduction(base.mean_latency, fish.mean_latency);
+        const double tr = reduction(base.tail_latency, fish.tail_latency);
+        std::printf("%-12s %12.0f %12.0f %8.1f%% %8.1f%%\n",
+                    profile.name.c_str(), base.mean_latency,
+                    fish.mean_latency, mr, tr);
+        mean_sum += mr;
+        tail_sum += tr;
+    }
+    std::printf("%-12s (cycles/request)        mean %5.1f%%  tail %5.1f%%"
+                "   (paper: 11%% / 18%%)\n",
+                "average", mean_sum / serving.size(),
+                tail_sum / serving.size());
+    rule();
+
+    // ---- Compute: execution time via work-unit throughput.
+    std::printf("%-12s %12s %12s %9s\n", "compute", "units/ms(b)",
+                "units/ms(bf)", "time-red");
+    rule();
+    double comp_sum = 0;
+    const auto compute = workloads::AppProfile::compute();
+    for (const auto &profile : compute) {
+        const auto base =
+            runApp(profile, core::SystemParams::baseline(), cfg);
+        const auto fish =
+            runApp(profile, core::SystemParams::babelfish(), cfg);
+        // Execution time per unit of work is the inverse of throughput.
+        const double tr = reduction(1.0 / base.units_per_ms,
+                                    1.0 / fish.units_per_ms);
+        std::printf("%-12s %12.1f %12.1f %8.1f%%\n", profile.name.c_str(),
+                    base.units_per_ms, fish.units_per_ms, tr);
+        comp_sum += tr;
+    }
+    std::printf("%-12s execution time reduction %5.1f%%   "
+                "(paper: 11%%)\n",
+                "average", comp_sum / compute.size());
+    rule();
+
+    // ---- Functions: execution time of the trailing two functions.
+    std::printf("%-12s %12s %12s %9s\n", "functions", "exec(b) Mcyc",
+                "exec(bf) Mcyc", "time-red");
+    rule();
+    for (bool sparse : {false, true}) {
+        const auto base =
+            runFaas(core::SystemParams::baseline(), sparse, cfg);
+        const auto fish =
+            runFaas(core::SystemParams::babelfish(), sparse, cfg);
+        std::printf("%-12s %12.2f %12.2f %8.1f%%\n",
+                    sparse ? "sparse" : "dense", base.trail_exec / 1e6,
+                    fish.trail_exec / 1e6,
+                    reduction(base.trail_exec, fish.trail_exec));
+    }
+    std::printf("(paper: dense −10%%, sparse −55%%)\n");
+    return 0;
+}

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) of the simulator's hot components:
+ * TLB lookups (conventional vs BabelFish), cache and DRAM accesses,
+ * page walks, fault handling, and fork. These quantify the cost of the
+ * BabelFish lookup logic in the model and keep the simulator's own
+ * performance in check.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/mmu.hh"
+#include "mem/hierarchy.hh"
+#include "tlb/page_walker.hh"
+#include "tlb/tlb.hh"
+#include "vm/kernel.hh"
+
+using namespace bf;
+
+namespace
+{
+
+/** Silence inform() chatter in benchmark output. */
+const bool quiet = [] {
+    bf::detail::setVerbose(false);
+    return true;
+}();
+
+constexpr Addr kVa = 0x7f00'0000'0000ull;
+
+std::unique_ptr<tlb::Tlb>
+makeFilledTlb(unsigned entries)
+{
+    tlb::TlbParams params;
+    params.entries = entries;
+    params.assoc = 12;
+    auto tlb_ptr = std::make_unique<tlb::Tlb>(params);
+    tlb::Tlb &tlb = *tlb_ptr;
+    for (Vpn vpn = 0; vpn < entries; ++vpn) {
+        tlb::TlbEntry entry;
+        entry.valid = true;
+        entry.vpn = vpn;
+        entry.ppn = vpn + 100;
+        entry.pcid = 1 + (vpn % 3);
+        entry.fill_pcid = entry.pcid;
+        entry.ccid = 7;
+        entry.orpc = (vpn % 7) == 0;
+        entry.pc_bitmask = entry.orpc ? 0b10 : 0;
+        tlb.fill(entry, true);
+    }
+    return tlb_ptr;
+}
+
+void
+BM_TlbLookupConventional(benchmark::State &state)
+{
+    auto tlb = makeFilledTlb(1536);
+    Vpn vpn = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tlb->lookupConventional(vpn, 1));
+        vpn = (vpn + 97) % 1536;
+    }
+}
+BENCHMARK(BM_TlbLookupConventional);
+
+void
+BM_TlbLookupBabelFish(benchmark::State &state)
+{
+    auto tlb = makeFilledTlb(1536);
+    Vpn vpn = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tlb->lookupBabelFish(vpn, 7, 1, 0));
+        vpn = (vpn + 97) % 1536;
+    }
+}
+BENCHMARK(BM_TlbLookupBabelFish);
+
+void
+BM_CacheHierarchyAccess(benchmark::State &state)
+{
+    mem::CacheHierarchy hierarchy(mem::HierarchyParams{}, 1);
+    Addr addr = 0;
+    Cycles now = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            hierarchy.access(0, addr, AccessType::Read, now));
+        addr = (addr + 64) % (16ull << 20);
+        now += 10;
+    }
+}
+BENCHMARK(BM_CacheHierarchyAccess);
+
+void
+BM_DramAccess(benchmark::State &state)
+{
+    mem::Dram dram(mem::DramParams{});
+    Addr addr = 0;
+    Cycles now = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dram.access(addr, now, false));
+        addr += 64;
+        now += 100;
+    }
+}
+BENCHMARK(BM_DramAccess);
+
+struct WalkFixture
+{
+    vm::Kernel kernel;
+    mem::CacheHierarchy mem;
+    tlb::Pwc pwc;
+    tlb::PageWalker walker;
+    vm::Process *proc;
+
+    WalkFixture()
+        : kernel([] {
+              vm::KernelParams p;
+              p.mem_frames = 1 << 22;
+              return p;
+          }()),
+          mem(mem::HierarchyParams{}, 1), pwc(tlb::PwcParams{}),
+          walker(0, mem, kernel, pwc, true)
+    {
+        const Ccid g = kernel.createGroup("g", 1);
+        proc = kernel.createProcess(g, "p");
+        auto *file = kernel.createFile("f", 64 << 20);
+        file->preload(kernel.frames());
+        kernel.mmapObject(*proc, file, kVa, 64 << 20, 0, false, false,
+                          false);
+        for (Addr va = kVa; va < kVa + (64ull << 20); va += 4096)
+            kernel.handleFault(*proc, va, AccessType::Read);
+    }
+};
+
+void
+BM_PageWalk(benchmark::State &state)
+{
+    WalkFixture fx;
+    Addr va = kVa;
+    Cycles now = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            fx.walker.walk(*fx.proc, va, AccessType::Read, now));
+        va = kVa + ((va - kVa + 4096 * 513) % (64ull << 20));
+        now += 100;
+    }
+}
+BENCHMARK(BM_PageWalk);
+
+void
+BM_HandleFaultMinor(benchmark::State &state)
+{
+    vm::KernelParams params;
+    params.mem_frames = 1 << 23;
+    vm::Kernel kernel(params);
+    const Ccid g = kernel.createGroup("g", 1);
+    vm::Process *proc = kernel.createProcess(g, "p");
+    auto *file = kernel.createFile("f", 2048ull << 20);
+    file->preload(kernel.frames());
+    kernel.mmapObject(*proc, file, kVa, 2048ull << 20, 0, false, false,
+                      false);
+    // Wraps around once the mapping is fully populated, so long runs mix
+    // first-touch minor faults with the resolved fast path.
+    const std::uint64_t pages = (2048ull << 20) / basePageBytes;
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(kernel.handleFault(
+            *proc, kVa + (i++ % pages) * basePageBytes,
+            AccessType::Read));
+    }
+}
+BENCHMARK(BM_HandleFaultMinor);
+
+void
+BM_ForkWarmProcess(benchmark::State &state)
+{
+    vm::KernelParams params;
+    params.mem_frames = 1 << 23;
+    vm::Kernel kernel(params);
+    const Ccid g = kernel.createGroup("g", 1);
+    vm::Process *proc = kernel.createProcess(g, "p");
+    auto *file = kernel.createFile("f", 32ull << 20);
+    file->preload(kernel.frames());
+    kernel.mmapObject(*proc, file, kVa, 32ull << 20, 0, false, true,
+                      false);
+    for (Addr va = kVa; va < kVa + (32ull << 20); va += 4096)
+        kernel.handleFault(*proc, va, AccessType::Read);
+    std::uint64_t i = 0;
+    vm::Process *prev = nullptr;
+    for (auto _ : state) {
+        vm::Process *child = kernel.fork(*proc, "c" + std::to_string(i++));
+        benchmark::DoNotOptimize(child);
+        // Retire the previous child so the sharer counters and process
+        // table stay bounded however many iterations the harness runs.
+        if (prev)
+            kernel.exitProcess(*prev);
+        prev = child;
+    }
+    if (prev)
+        kernel.exitProcess(*prev);
+}
+BENCHMARK(BM_ForkWarmProcess);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Shared harness for the paper-reproduction benches.
+ *
+ * Each bench binary reproduces one table or figure of the paper's
+ * evaluation (§VII). The harness builds the Table I server (8 cores, 2
+ * containers/core for Data Serving and Compute, 3 function containers
+ * per core for FaaS), runs the two-phase warm-up + measurement protocol
+ * of §VI, and extracts the metrics the paper reports.
+ *
+ * Environment knobs:
+ *   BF_FAST=1      quarter-length runs on 4 cores (CI smoke mode).
+ *   BF_CORES=n     override the core count.
+ *   BF_MEASURE_MS  override the measurement window.
+ */
+
+#ifndef BF_BENCH_COMMON_HH
+#define BF_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/system.hh"
+#include "workloads/apps.hh"
+#include "workloads/function.hh"
+
+namespace bfbench
+{
+
+using namespace bf;
+
+/** Harness-level run configuration. */
+struct RunConfig
+{
+    unsigned num_cores = 8;
+    unsigned containers_per_core = 2; //!< Paper §VI: conservative.
+    double warm_ms = 15;
+    double measure_ms = 35;
+    std::uint64_t seed = 42;
+
+    static RunConfig
+    fromEnv()
+    {
+        RunConfig cfg;
+        if (const char *fast = std::getenv("BF_FAST");
+            fast && fast[0] == '1') {
+            cfg.num_cores = 4;
+            cfg.warm_ms = 6;
+            cfg.measure_ms = 12;
+        }
+        if (const char *cores = std::getenv("BF_CORES"))
+            cfg.num_cores = static_cast<unsigned>(std::atoi(cores));
+        if (const char *ms = std::getenv("BF_MEASURE_MS"))
+            cfg.measure_ms = std::atof(ms);
+        return cfg;
+    }
+};
+
+/** Metrics extracted from one Data Serving / Compute run. */
+struct AppRunResult
+{
+    double mean_latency = 0;   //!< Cycles per request (serving).
+    double tail_latency = 0;   //!< 95th percentile (serving).
+    double units_per_ms = 0;   //!< Work-unit throughput (compute).
+    double data_mpki = 0;
+    double instr_mpki = 0;
+    double data_shared_frac = 0;
+    double instr_shared_frac = 0;
+    std::uint64_t minor_faults = 0;
+    std::uint64_t cow_faults = 0;
+    std::uint64_t shared_installs = 0;
+    std::uint64_t instructions = 0;
+    double l2_long_frac = 0; //!< L2 TLB accesses paying the 12-cycle time.
+};
+
+/**
+ * Run one application at the paper's co-location level: every core
+ * multiplexes containers_per_core containers of the same app, each
+ * serving a distinct request stream.
+ */
+inline AppRunResult
+runApp(const workloads::AppProfile &profile,
+       core::SystemParams params, const RunConfig &cfg)
+{
+    params.num_cores = cfg.num_cores;
+    core::System sys(params);
+
+    const unsigned n = cfg.num_cores * cfg.containers_per_core;
+    auto app = workloads::buildApp(sys.kernel(), profile, n, cfg.seed);
+    auto threads = workloads::makeAppThreads(app, cfg.seed);
+    for (unsigned i = 0; i < n; ++i)
+        sys.addThread(i % cfg.num_cores, threads[i].get());
+
+    sys.run(msToCycles(cfg.warm_ms));
+    sys.resetStats();
+    for (auto &thread : threads) {
+        if (auto *ds =
+                dynamic_cast<workloads::DataServingThread *>(thread.get()))
+            ds->resetMeasurement();
+        if (auto *ct =
+                dynamic_cast<workloads::ComputeThread *>(thread.get()))
+            ct->resetMeasurement();
+    }
+    sys.run(msToCycles(cfg.measure_ms));
+
+    AppRunResult r;
+    std::uint64_t units = 0;
+    // Aggregate request latencies: mean of per-container means and
+    // tails (each container is driven by its own YCSB client, §VI).
+    double mean_sum = 0, tail_sum = 0;
+    unsigned serving_threads = 0;
+    for (auto &thread : threads) {
+        if (auto *ds = dynamic_cast<workloads::DataServingThread *>(
+                thread.get())) {
+            if (ds->latency().count() == 0)
+                continue;
+            mean_sum += ds->latency().mean();
+            tail_sum += ds->latency().percentile(95);
+            ++serving_threads;
+        }
+        if (auto *ct = dynamic_cast<workloads::ComputeThread *>(
+                thread.get()))
+            units += ct->unitsDone();
+    }
+    if (serving_threads) {
+        r.mean_latency = mean_sum / serving_threads;
+        r.tail_latency = tail_sum / serving_threads;
+    }
+    r.units_per_ms = static_cast<double>(units) / cfg.measure_ms;
+
+    const double ki = sys.totalInstructions() / 1000.0;
+    r.instructions = sys.totalInstructions();
+    r.data_mpki = sys.totalL2TlbMisses(false) / ki;
+    r.instr_mpki = sys.totalL2TlbMisses(true) / ki;
+    const auto dh = sys.totalL2TlbHits(false);
+    const auto ih = sys.totalL2TlbHits(true);
+    r.data_shared_frac =
+        dh ? static_cast<double>(sys.totalL2TlbSharedHits(false)) / dh : 0;
+    r.instr_shared_frac =
+        ih ? static_cast<double>(sys.totalL2TlbSharedHits(true)) / ih : 0;
+    r.minor_faults = sys.kernel().minor_faults.value();
+    r.cow_faults = sys.kernel().cow_faults.value();
+    r.shared_installs = sys.kernel().shared_installs.value();
+    std::uint64_t l2_accesses = 0, l2_long = 0;
+    for (unsigned c = 0; c < sys.numCores(); ++c) {
+        auto &mmu = sys.core(c).mmu();
+        l2_accesses += mmu.l2_data_hits.value() +
+                       mmu.l2_data_misses.value() +
+                       mmu.l2_instr_hits.value() +
+                       mmu.l2_instr_misses.value();
+        l2_long += mmu.l2_long_accesses.value();
+    }
+    r.l2_long_frac = l2_accesses
+                         ? static_cast<double>(l2_long) / l2_accesses
+                         : 0;
+    return r;
+}
+
+/** Result of one FaaS group run (per paper: 3 functions per core). */
+struct FaasRunResult
+{
+    double lead_exec = 0;      //!< Leading function (cold), cycles.
+    double trail_exec = 0;     //!< Mean of the trailing two, cycles.
+    double bringup = 0;        //!< Mean container bring-up, cycles.
+    double fork_work = 0;      //!< Kernel fork cycles per container.
+    double data_mpki = 0;
+    double instr_mpki = 0;
+    double data_shared_frac = 0;
+    double instr_shared_frac = 0;
+    std::uint64_t minor_faults = 0;
+};
+
+/**
+ * Run one group of the three functions to completion on one core
+ * (multiplexed, as in §VI), with dense or sparse inputs.
+ */
+inline FaasRunResult
+runFaas(core::SystemParams params, bool sparse, const RunConfig &cfg)
+{
+    params.num_cores = 1;
+    // Functions are latency-sensitive; a fine quantum interleaves the
+    // three short-lived containers as the FaaS runtime does (their
+    // bring-ups genuinely overlap in time).
+    params.core.quantum = msToCycles(0.5);
+    core::System sys(params);
+
+    auto group = workloads::buildFaasGroup(
+        sys.kernel(), workloads::FunctionProfile::all(), cfg.seed);
+    std::vector<std::unique_ptr<workloads::FunctionThread>> threads;
+    for (unsigned i = 0; i < 3; ++i) {
+        threads.push_back(std::make_unique<workloads::FunctionThread>(
+            group.profiles[i], group.containers[i], sparse,
+            cfg.seed + 17 * i));
+    }
+    // The triggering event reaches the leading function first (paper:
+    // the leader behaves the same in Baseline and BabelFish due to cold
+    // start; the trailing two are measured).
+    sys.addThread(0, threads[0].get());
+    sys.run(msToCycles(3));
+    sys.addThread(0, threads[1].get());
+    sys.addThread(0, threads[2].get());
+    sys.runUntilFinished(msToCycles(4000));
+
+    FaasRunResult r;
+    r.lead_exec = static_cast<double>(threads[0]->execCycles());
+    r.trail_exec = (static_cast<double>(threads[1]->execCycles()) +
+                    static_cast<double>(threads[2]->execCycles())) /
+                   2.0;
+    r.bringup = (static_cast<double>(threads[0]->bringupCycles()) +
+                 static_cast<double>(threads[1]->bringupCycles()) +
+                 static_cast<double>(threads[2]->bringupCycles())) /
+                    3.0 +
+                static_cast<double>(group.bringup_work) / 3.0;
+    r.fork_work = static_cast<double>(group.bringup_work) / 3.0;
+    const double ki = sys.totalInstructions() / 1000.0;
+    r.data_mpki = sys.totalL2TlbMisses(false) / ki;
+    r.instr_mpki = sys.totalL2TlbMisses(true) / ki;
+    const auto dh = sys.totalL2TlbHits(false);
+    const auto ih = sys.totalL2TlbHits(true);
+    r.data_shared_frac =
+        dh ? static_cast<double>(sys.totalL2TlbSharedHits(false)) / dh : 0;
+    r.instr_shared_frac =
+        ih ? static_cast<double>(sys.totalL2TlbSharedHits(true)) / ih : 0;
+    r.minor_faults = sys.kernel().minor_faults.value();
+    return r;
+}
+
+/** Percentage reduction of b relative to a (positive = b is better). */
+inline double
+reduction(double base, double other)
+{
+    return base > 0 ? 100.0 * (1.0 - other / base) : 0.0;
+}
+
+/** Print a rule line. */
+inline void
+rule(char c = '-', int n = 74)
+{
+    for (int i = 0; i < n; ++i)
+        std::putchar(c);
+    std::putchar('\n');
+}
+
+} // namespace bfbench
+
+#endif // BF_BENCH_COMMON_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Example: a serverless (FaaS) burst — the three paper functions
+ * (Parse, Hash, Marshal) triggered on one core, with dense and sparse
+ * input access patterns. Shows bring-up and execution time per function
+ * under Baseline and BabelFish.
+ *
+ * Run: ./build/examples/faas_functions
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/system.hh"
+#include "workloads/function.hh"
+
+using namespace bf;
+
+namespace
+{
+
+void
+burst(bool babelfish, bool sparse)
+{
+    core::SystemParams params = babelfish
+                                    ? core::SystemParams::babelfish()
+                                    : core::SystemParams::baseline();
+    params.num_cores = 1;
+    params.core.quantum = msToCycles(1);
+    core::System sys(params);
+
+    auto group = workloads::buildFaasGroup(
+        sys.kernel(), workloads::FunctionProfile::all(), /*seed=*/9);
+
+    std::vector<std::unique_ptr<workloads::FunctionThread>> threads;
+    for (unsigned i = 0; i < 3; ++i) {
+        threads.push_back(std::make_unique<workloads::FunctionThread>(
+            group.profiles[i], group.containers[i], sparse, 50 + i));
+        sys.addThread(0, threads[i].get());
+    }
+    sys.runUntilFinished(msToCycles(4000));
+
+    std::printf("  %-10s %-8s", babelfish ? "BabelFish" : "Baseline",
+                sparse ? "sparse" : "dense");
+    for (unsigned i = 0; i < 3; ++i) {
+        std::printf("  %s: up %5.2fM run %7.2fM",
+                    group.profiles[i].name.c_str(),
+                    threads[i]->bringupCycles() / 1e6,
+                    threads[i]->execCycles() / 1e6);
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    bf::detail::setVerbose(false);
+    std::printf("FaaS burst: Parse + Hash + Marshal on one core "
+                "(cycles, M)\n");
+    std::printf("dense input: every line of a page; sparse: ~10%% of a "
+                "page (paper Section VI)\n\n");
+    for (bool sparse : {false, true}) {
+        for (bool babelfish : {false, true})
+            burst(babelfish, sparse);
+        std::printf("\n");
+    }
+    std::printf("BabelFish accelerates the trailing functions most: the "
+                "leader's faults warm the\ngroup-shared page tables, so "
+                "later functions skip both the faults and most walks.\n");
+    return 0;
+}

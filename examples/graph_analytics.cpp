@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Example: the paper's intro scenario — "a graph application exploits
+ * parallelism by creating multiple containers, each one with one
+ * process. Each process performs different traversals on the shared
+ * graph." (§II-A)
+ *
+ * Runs N PageRank containers over one shared graph and reports
+ * throughput (work units/ms) and the translation-sharing statistics as
+ * the container count scales.
+ *
+ * Run: ./build/examples/graph_analytics [max_containers]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/system.hh"
+#include "workloads/apps.hh"
+
+using namespace bf;
+
+namespace
+{
+
+struct Result
+{
+    double units_per_ms;
+    double shared_hit_frac;
+    std::uint64_t live_table_pages;
+};
+
+Result
+run(bool babelfish, unsigned containers)
+{
+    core::SystemParams params = babelfish
+                                    ? core::SystemParams::babelfish()
+                                    : core::SystemParams::baseline();
+    params.num_cores = std::max(1u, containers / 2);
+    core::System sys(params);
+
+    auto profile = workloads::AppProfile::graphchi();
+    auto app = workloads::buildApp(sys.kernel(), profile, containers, 3);
+    auto threads = workloads::makeAppThreads(app, 3);
+    for (unsigned i = 0; i < containers; ++i)
+        sys.addThread(i % params.num_cores, threads[i].get());
+
+    sys.run(msToCycles(8));
+    sys.resetStats();
+    for (auto &t : threads)
+        static_cast<workloads::ComputeThread *>(t.get())
+            ->resetMeasurement();
+    sys.run(msToCycles(20));
+
+    Result r{};
+    std::uint64_t units = 0;
+    for (auto &t : threads)
+        units += static_cast<workloads::ComputeThread *>(t.get())
+                     ->unitsDone();
+    r.units_per_ms = units / 20.0;
+    const auto hits =
+        sys.totalL2TlbHits(false) + sys.totalL2TlbHits(true);
+    r.shared_hit_frac =
+        hits ? static_cast<double>(sys.totalL2TlbSharedHits(false) +
+                                   sys.totalL2TlbSharedHits(true)) /
+                   hits
+             : 0;
+    r.live_table_pages = sys.kernel().tables_allocated.value() -
+                         sys.kernel().tables_freed.value();
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bf::detail::setVerbose(false);
+    const unsigned max_containers =
+        argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 8;
+
+    std::printf("PageRank containers over one shared graph "
+                "(2 containers/core)\n");
+    std::printf("%-11s %16s %16s %14s %14s\n", "containers",
+                "base units/ms", "bf units/ms", "bf shared-hit",
+                "pt pages b/bf");
+    for (unsigned n = 2; n <= max_containers; n *= 2) {
+        const Result base = run(false, n);
+        const Result fish = run(true, n);
+        std::printf("%-11u %16.1f %16.1f %13.1f%% %7llu/%llu\n", n,
+                    base.units_per_ms, fish.units_per_ms,
+                    100.0 * fish.shared_hit_frac,
+                    static_cast<unsigned long long>(
+                        base.live_table_pages),
+                    static_cast<unsigned long long>(
+                        fish.live_table_pages));
+    }
+    std::printf("\nBabelFish fuses the per-container copies of the "
+                "graph's page tables: page-table\nmemory grows at about "
+                "half the baseline rate as containers scale, and\n"
+                "throughput rises from shared walk state (the graph's "
+                "pte lines stay warm in\nthe shared L3).\n");
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Example: measure translation replication the way the paper does for
+ * Fig. 9 — run containerized workloads on the baseline kernel and scan
+ * their page tables with the Pagemap analyzer.
+ *
+ * Run: ./build/examples/pagemap_scan [app]
+ *      app in {arangodb, mongodb, httpd, graphchi, fio}
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "analysis/pagemap.hh"
+#include "core/system.hh"
+#include "workloads/apps.hh"
+
+using namespace bf;
+
+int
+main(int argc, char **argv)
+{
+    bf::detail::setVerbose(false);
+    const char *which = argc > 1 ? argv[1] : "httpd";
+
+    workloads::AppProfile profile;
+    if (!std::strcmp(which, "arangodb"))
+        profile = workloads::AppProfile::arangodb();
+    else if (!std::strcmp(which, "mongodb"))
+        profile = workloads::AppProfile::mongodb();
+    else if (!std::strcmp(which, "graphchi"))
+        profile = workloads::AppProfile::graphchi();
+    else if (!std::strcmp(which, "fio"))
+        profile = workloads::AppProfile::fio();
+    else
+        profile = workloads::AppProfile::httpd();
+
+    core::SystemParams params = core::SystemParams::baseline();
+    params.num_cores = 2;
+    core::System sys(params);
+
+    auto app = workloads::buildApp(sys.kernel(), profile, 2, 77);
+    auto threads = workloads::makeAppThreads(app, 77);
+    sys.addThread(0, threads[0].get());
+    sys.addThread(1, threads[1].get());
+
+    sys.run(msToCycles(15));
+    sys.kernel().clearAccessedBits(); // LRU aging
+    sys.run(msToCycles(25));
+
+    std::vector<const vm::Process *> procs(app.containers.begin(),
+                                           app.containers.end());
+    const auto s = analysis::scanGroup(sys.kernel(), procs);
+
+    std::printf("%s: two containers, steady state\n", profile.name.c_str());
+    std::printf("  total pte_ts        %8llu\n",
+                static_cast<unsigned long long>(s.total));
+    std::printf("    shareable         %8llu (%.1f%%)\n",
+                static_cast<unsigned long long>(s.total_shareable),
+                100.0 * s.shareableFraction());
+    std::printf("    unshareable       %8llu\n",
+                static_cast<unsigned long long>(s.total_unshareable));
+    std::printf("    THP               %8llu\n",
+                static_cast<unsigned long long>(s.total_thp));
+    std::printf("  active pte_ts       %8llu\n",
+                static_cast<unsigned long long>(s.active));
+    std::printf("  active w/ BabelFish %8llu  (-%.1f%%)\n",
+                static_cast<unsigned long long>(s.babelfish_active),
+                100.0 * s.activeReduction());
+    return 0;
+}

@@ -1,0 +1,69 @@
+#include "analysis/pagemap.hh"
+
+#include <map>
+#include <tuple>
+
+namespace bf::analysis
+{
+
+namespace
+{
+
+/** Identity of a translation for shareability comparison. */
+using Key = std::tuple<Addr /*va*/, Ppn, std::uint64_t /*perms*/,
+                       PageSize>;
+
+struct KeyInfo
+{
+    unsigned copies = 0;        //!< Processes holding this translation.
+    unsigned active_copies = 0; //!< ... with the accessed bit set.
+};
+
+} // namespace
+
+PagemapStats
+scanGroup(const vm::Kernel &kernel,
+          const std::vector<const vm::Process *> &processes)
+{
+    std::map<Key, KeyInfo> keys;
+
+    for (const vm::Process *proc : processes) {
+        kernel.forEachTranslation(
+            *proc, [&](Addr va, const vm::Entry &leaf, PageSize size) {
+                Key key{va, leaf.frame(), leaf.permBits(), size};
+                KeyInfo &info = keys[key];
+                ++info.copies;
+                if (leaf.accessed())
+                    ++info.active_copies;
+            });
+    }
+
+    PagemapStats stats;
+    for (const auto &[key, info] : keys) {
+        const auto size = std::get<3>(key);
+        const bool thp = size != PageSize::Size4K;
+        const bool shareable = !thp && info.copies >= 2;
+
+        stats.total += info.copies;
+        stats.active += info.active_copies;
+        if (thp) {
+            stats.total_thp += info.copies;
+            stats.active_thp += info.active_copies;
+            stats.babelfish_active += info.active_copies;
+        } else if (shareable) {
+            stats.total_shareable += info.copies;
+            stats.active_shareable += info.active_copies;
+            if (info.active_copies > 0) {
+                ++stats.babelfish_active;          // fused to one copy
+                ++stats.babelfish_active_shareable;
+            }
+        } else {
+            stats.total_unshareable += info.copies;
+            stats.active_unshareable += info.active_copies;
+            stats.babelfish_active += info.active_copies;
+        }
+    }
+    return stats;
+}
+
+} // namespace bf::analysis

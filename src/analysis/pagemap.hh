@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The Fig. 9 measurement: scan the page tables of a CCID group (the way
+ * the paper uses Linux Pagemap natively) and classify every leaf
+ * translation as shareable, unshareable or THP, in total and among the
+ * recently-used ("active") set.
+ *
+ * Definitions (paper §VII-A):
+ *  - shareable: an identical {VPN, PPN} pair with identical permission
+ *    bits exists in another process of the group;
+ *  - THP: transparent-huge-page translations (counted separately; they
+ *    are anonymous and unshareable);
+ *  - active: the translation's accessed bit is set (proxy for the
+ *    kernel's active LRU list);
+ *  - BabelFish active: active translations after fusion — each group of
+ *    identical shareable translations collapses to one.
+ */
+
+#ifndef BF_ANALYSIS_PAGEMAP_HH
+#define BF_ANALYSIS_PAGEMAP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "vm/kernel.hh"
+
+namespace bf::analysis
+{
+
+/** Fig. 9 bars for one application. */
+struct PagemapStats
+{
+    /** @{ @name Total pte_ts mapped by the group's containers */
+    std::uint64_t total = 0;
+    std::uint64_t total_shareable = 0;
+    std::uint64_t total_unshareable = 0;
+    std::uint64_t total_thp = 0;
+    /** @} */
+
+    /** @{ @name Active (recently-touched) pte_ts */
+    std::uint64_t active = 0;
+    std::uint64_t active_shareable = 0;
+    std::uint64_t active_unshareable = 0;
+    std::uint64_t active_thp = 0;
+    /** @} */
+
+    /** @{ @name Active pte_ts after enabling BabelFish (fused) */
+    std::uint64_t babelfish_active = 0;
+    std::uint64_t babelfish_active_shareable = 0; //!< Distinct fused.
+    /** @} */
+
+    double
+    shareableFraction() const
+    {
+        return total ? static_cast<double>(total_shareable) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+
+    double
+    activeReduction() const
+    {
+        return active ? 1.0 - static_cast<double>(babelfish_active) /
+                                  static_cast<double>(active)
+                      : 0.0;
+    }
+};
+
+/**
+ * Scan one CCID group.
+ * @param processes the group's container processes (the runtime process
+ *        may be included or not, matching what is measured).
+ */
+PagemapStats scanGroup(const vm::Kernel &kernel,
+                       const std::vector<const vm::Process *> &processes);
+
+} // namespace bf::analysis
+
+#endif // BF_ANALYSIS_PAGEMAP_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * panic() is for simulator bugs (aborts); fatal() is for user/configuration
+ * errors (clean exit); warn()/inform() report conditions without stopping.
+ */
+
+#ifndef BF_COMMON_LOGGING_HH
+#define BF_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace bf
+{
+
+namespace detail
+{
+
+/** Concatenate any streamable arguments into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+/** Print "panic: ..." and abort(). */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print "fatal: ..." and exit(1). */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print "warn: ...". */
+void warnImpl(const std::string &msg);
+
+/** Print "info: ...". */
+void informImpl(const std::string &msg);
+
+/** Globally enable/disable inform() output (benches quiet it). */
+void setVerbose(bool verbose);
+
+/** Current verbosity. */
+bool verbose();
+
+} // namespace detail
+
+/** Report an internal simulator bug and abort. */
+template <typename... Args>
+[[noreturn]] void
+panic(const char *file, int line, Args &&...args)
+{
+    detail::panicImpl(file, line, detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report an unrecoverable user error and exit. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const char *file, int line, Args &&...args)
+{
+    detail::fatalImpl(file, line, detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report a suspicious-but-survivable condition. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    if (detail::verbose())
+        detail::informImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace bf
+
+#define bf_panic(...) ::bf::panic(__FILE__, __LINE__, __VA_ARGS__)
+#define bf_fatal(...) ::bf::fatal(__FILE__, __LINE__, __VA_ARGS__)
+
+/** gem5-style assertion that survives NDEBUG builds. */
+#define bf_assert(cond, ...)                                              \
+    do {                                                                  \
+        if (!(cond))                                                      \
+            ::bf::panic(__FILE__, __LINE__, "assertion '" #cond "' "      \
+                        "failed: ", ##__VA_ARGS__);                       \
+    } while (0)
+
+#endif // BF_COMMON_LOGGING_HH

@@ -1,0 +1,160 @@
+#include "common/stats.hh"
+
+#include <cmath>
+#include <iomanip>
+
+#include "common/logging.hh"
+
+namespace bf::stats
+{
+
+void
+Histogram::sample(std::uint64_t value)
+{
+    std::size_t bucket = 0;
+    std::uint64_t v = value;
+    while (v > 1) {
+        v >>= 1;
+        ++bucket;
+    }
+    if (bucket >= buckets_.size())
+        buckets_.resize(bucket + 1, 0);
+    ++buckets_[bucket];
+    ++count_;
+    sum_ += static_cast<double>(value);
+    max_ = std::max(max_, value);
+}
+
+void
+Histogram::reset()
+{
+    buckets_.clear();
+    count_ = 0;
+    sum_ = 0;
+    max_ = 0;
+}
+
+double
+LatencyTracker::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double sum = 0;
+    for (double s : samples_)
+        sum += s;
+    return sum / static_cast<double>(samples_.size());
+}
+
+void
+LatencyTracker::sort() const
+{
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+}
+
+double
+LatencyTracker::percentile(double p) const
+{
+    if (samples_.empty())
+        return 0.0;
+    sort();
+    bf_assert(p >= 0.0 && p <= 100.0, "percentile out of range: ", p);
+    const auto n = samples_.size();
+    auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 *
+                                                   static_cast<double>(n)));
+    if (rank > 0)
+        --rank;
+    return samples_[std::min(rank, n - 1)];
+}
+
+StatGroup::StatGroup(std::string name, StatGroup *parent)
+    : name_(std::move(name)), parent_(parent)
+{
+    if (parent_)
+        parent_->children_.push_back(this);
+}
+
+void
+StatGroup::addStat(const std::string &name, const Scalar *stat)
+{
+    bf_assert(!scalars_.count(name), "duplicate stat ", path(), ".", name);
+    scalars_[name] = stat;
+}
+
+void
+StatGroup::addStat(const std::string &name, const Average *stat)
+{
+    bf_assert(!averages_.count(name), "duplicate stat ", path(), ".", name);
+    averages_[name] = stat;
+}
+
+void
+StatGroup::addStat(const std::string &name, const LatencyTracker *stat)
+{
+    bf_assert(!latencies_.count(name), "duplicate stat ", path(), ".", name);
+    latencies_[name] = stat;
+}
+
+std::string
+StatGroup::path() const
+{
+    if (!parent_)
+        return name_;
+    return parent_->path() + "." + name_;
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    const std::string prefix = path();
+    for (const auto &[name, stat] : scalars_)
+        os << prefix << "." << name << " " << stat->value() << "\n";
+    for (const auto &[name, stat] : averages_) {
+        os << prefix << "." << name << ".mean " << stat->mean() << "\n";
+        os << prefix << "." << name << ".count " << stat->count() << "\n";
+    }
+    for (const auto &[name, stat] : latencies_) {
+        os << prefix << "." << name << ".mean " << stat->mean() << "\n";
+        os << prefix << "." << name << ".p95 " << stat->percentile(95)
+           << "\n";
+        os << prefix << "." << name << ".count " << stat->count() << "\n";
+    }
+    for (const auto *child : children_)
+        child->dump(os);
+}
+
+const Scalar *
+StatGroup::findScalar(const std::string &rel_path) const
+{
+    const auto dot = rel_path.find('.');
+    if (dot == std::string::npos) {
+        auto it = scalars_.find(rel_path);
+        return it == scalars_.end() ? nullptr : it->second;
+    }
+    const std::string head = rel_path.substr(0, dot);
+    const std::string tail = rel_path.substr(dot + 1);
+    for (const auto *child : children_) {
+        if (child->name_ == head)
+            return child->findScalar(tail);
+    }
+    return nullptr;
+}
+
+std::uint64_t
+StatGroup::scalar(const std::string &rel_path) const
+{
+    const Scalar *stat = findScalar(rel_path);
+    if (!stat)
+        bf_panic("no such stat: ", path(), ".", rel_path);
+    return stat->value();
+}
+
+bool
+StatGroup::hasScalar(const std::string &rel_path) const
+{
+    return findScalar(rel_path) != nullptr;
+}
+
+} // namespace bf::stats

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * A small gem5-flavoured statistics package.
+ *
+ * Components register named statistics in a StatGroup; groups nest to form
+ * a tree (system.core0.mmu.l2tlb.hits). Stats can be dumped as aligned text
+ * or harvested programmatically by the benches.
+ */
+
+#ifndef BF_COMMON_STATS_HH
+#define BF_COMMON_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace bf::stats
+{
+
+/** A monotonically increasing counter. */
+class Scalar
+{
+  public:
+    Scalar() = default;
+
+    /** Add delta to the counter. */
+    void add(std::uint64_t delta = 1) { value_ += delta; }
+
+    Scalar &operator++() { ++value_; return *this; }
+    Scalar &operator+=(std::uint64_t delta) { value_ += delta; return *this; }
+
+    /** Current count. */
+    std::uint64_t value() const { return value_; }
+
+    /** Reset to zero (used between warm-up and measurement). */
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Mean of a stream of samples. */
+class Average
+{
+  public:
+    /** Record one sample. */
+    void
+    sample(double value)
+    {
+        sum_ += value;
+        ++count_;
+    }
+
+    /** Arithmetic mean of all samples, 0 if empty. */
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    /** Number of samples. */
+    std::uint64_t count() const { return count_; }
+
+    /** Sum of samples. */
+    double sum() const { return sum_; }
+
+    void reset() { sum_ = 0; count_ = 0; }
+
+  private:
+    double sum_ = 0;
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * A log2-bucketed histogram for wide-range values such as latencies.
+ * Bucket i counts samples in [2^i, 2^(i+1)).
+ */
+class Histogram
+{
+  public:
+    /** Record one sample. */
+    void sample(std::uint64_t value);
+
+    /** Number of samples recorded. */
+    std::uint64_t count() const { return count_; }
+
+    /** Mean of the recorded samples. */
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    /** Largest sample recorded. */
+    std::uint64_t max() const { return max_; }
+
+    /** Bucket counts (index = log2 of sample). */
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+
+    void reset();
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+/**
+ * Exact percentile tracker: stores all samples. Data-serving runs record
+ * one latency per request (tens of thousands), so this stays small.
+ */
+class LatencyTracker
+{
+  public:
+    /** Record one latency sample. */
+    void sample(double value) { samples_.push_back(value); sorted_ = false; }
+
+    /** Number of samples. */
+    std::size_t count() const { return samples_.size(); }
+
+    /** Mean latency, 0 if empty. */
+    double mean() const;
+
+    /**
+     * The p-th percentile by nearest-rank, 0 if empty.
+     * @param p percentile in [0, 100], e.g.\ 95 for tail latency.
+     */
+    double percentile(double p) const;
+
+    void reset() { samples_.clear(); sorted_ = false; }
+
+  private:
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = false;
+
+    void sort() const;
+};
+
+/**
+ * A named collection of statistics. Groups form a tree; dump() walks the
+ * tree and prints "path.name value" lines like gem5's stats.txt.
+ */
+class StatGroup
+{
+  public:
+    /**
+     * @param name this group's path component.
+     * @param parent enclosing group, or nullptr for a root.
+     */
+    explicit StatGroup(std::string name, StatGroup *parent = nullptr);
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    /** Register a scalar under this group. */
+    void addStat(const std::string &name, const Scalar *stat);
+    /** Register an average under this group. */
+    void addStat(const std::string &name, const Average *stat);
+    /** Register a latency tracker under this group. */
+    void addStat(const std::string &name, const LatencyTracker *stat);
+
+    /** Fully qualified dotted path of this group. */
+    std::string path() const;
+
+    /** Print all stats in this group and its children. */
+    void dump(std::ostream &os) const;
+
+    /**
+     * Look up a scalar's value by path relative to this group, e.g.\
+     * "core0.l2tlb.hits". Panics if absent (tests rely on names).
+     */
+    std::uint64_t scalar(const std::string &rel_path) const;
+
+    /** Whether a scalar with this relative path exists. */
+    bool hasScalar(const std::string &rel_path) const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    StatGroup *parent_ = nullptr;
+    std::vector<StatGroup *> children_;
+    std::map<std::string, const Scalar *> scalars_;
+    std::map<std::string, const Average *> averages_;
+    std::map<std::string, const LatencyTracker *> latencies_;
+
+    const Scalar *findScalar(const std::string &rel_path) const;
+};
+
+} // namespace bf::stats
+
+#endif // BF_COMMON_STATS_HH

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Fundamental types shared by every BabelFish subsystem.
+ *
+ * The simulator models an x86-64 server, so addresses are 64-bit and the
+ * canonical page is 4 KB. Virtual and physical page numbers get their own
+ * strong-ish typedefs to keep interfaces self-documenting.
+ */
+
+#ifndef BF_COMMON_TYPES_HH
+#define BF_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <string>
+
+namespace bf
+{
+
+/** A 64-bit address, virtual or physical depending on context. */
+using Addr = std::uint64_t;
+
+/** Virtual page number: virtual address >> page shift. */
+using Vpn = std::uint64_t;
+
+/** Physical page number: physical address >> page shift. */
+using Ppn = std::uint64_t;
+
+/** Simulated clock cycles (2 GHz cores by default). */
+using Cycles = std::uint64_t;
+
+/** OS process identifier. */
+using Pid = std::uint32_t;
+
+/** Process Context Identifier, 12 bits in x86. */
+using Pcid = std::uint16_t;
+
+/** Container Context Identifier, 12 bits (BabelFish, Table I). */
+using Ccid = std::uint16_t;
+
+/** Sentinel for "no process". */
+inline constexpr Pid invalidPid = 0xffffffff;
+
+/** Sentinel for "no container group". */
+inline constexpr Ccid invalidCcid = 0xffff;
+
+/** Page sizes supported by the TLBs and page tables (x86-64). */
+enum class PageSize : std::uint8_t
+{
+    Size4K,
+    Size2M,
+    Size1G,
+};
+
+/** Number of distinct page sizes. */
+inline constexpr int numPageSizes = 3;
+
+/** log2 of the page size in bytes. */
+constexpr int
+pageShift(PageSize size)
+{
+    switch (size) {
+      case PageSize::Size4K: return 12;
+      case PageSize::Size2M: return 21;
+      case PageSize::Size1G: return 30;
+    }
+    return 12;
+}
+
+/** Page size in bytes. */
+constexpr std::uint64_t
+pageBytes(PageSize size)
+{
+    return std::uint64_t{1} << pageShift(size);
+}
+
+/** Human-readable page-size label, e.g.\ "4K". */
+constexpr const char *
+pageSizeName(PageSize size)
+{
+    switch (size) {
+      case PageSize::Size4K: return "4K";
+      case PageSize::Size2M: return "2M";
+      case PageSize::Size1G: return "1G";
+    }
+    return "?";
+}
+
+/** Bytes per 4 KB base page. */
+inline constexpr std::uint64_t basePageBytes = 4096;
+
+/** log2 of the base page size. */
+inline constexpr int basePageShift = 12;
+
+/** Cache line size used throughout the hierarchy (Table I). */
+inline constexpr std::uint64_t cacheLineBytes = 64;
+
+/** Extract the VPN of a virtual address for a given page size. */
+constexpr Vpn
+addrToVpn(Addr va, PageSize size = PageSize::Size4K)
+{
+    return va >> pageShift(size);
+}
+
+/** First virtual address of a page. */
+constexpr Addr
+vpnToAddr(Vpn vpn, PageSize size = PageSize::Size4K)
+{
+    return vpn << pageShift(size);
+}
+
+/** Cache-line number of an address. */
+constexpr Addr
+lineOf(Addr addr)
+{
+    return addr / cacheLineBytes;
+}
+
+/** Whether an access is a read, a write, or an instruction fetch. */
+enum class AccessType : std::uint8_t
+{
+    Read,
+    Write,
+    Ifetch,
+};
+
+/** True for instruction fetches. */
+constexpr bool
+isIfetch(AccessType type)
+{
+    return type == AccessType::Ifetch;
+}
+
+/** Core frequency: 2 GHz (Table I). */
+inline constexpr std::uint64_t coreFreqHz = 2'000'000'000ull;
+
+/** Convert milliseconds of simulated time to cycles. */
+constexpr Cycles
+msToCycles(double ms)
+{
+    return static_cast<Cycles>(ms * 1e-3 * coreFreqHz);
+}
+
+/** Convert cycles to nanoseconds at the core frequency. */
+constexpr double
+cyclesToNs(Cycles cycles)
+{
+    return static_cast<double>(cycles) * 1e9 / coreFreqHz;
+}
+
+} // namespace bf
+
+#endif // BF_COMMON_TYPES_HH

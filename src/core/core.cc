@@ -1,0 +1,152 @@
+#include "core/core.hh"
+
+#include "common/logging.hh"
+
+namespace bf::core
+{
+
+Core::Core(unsigned id, const CoreParams &params, const MmuParams &mmu,
+           mem::CacheHierarchy &hierarchy, vm::Kernel &kernel,
+           stats::StatGroup *parent)
+    : id_(id), params_(params), hierarchy_(hierarchy),
+      stat_group_("core" + std::to_string(id), parent)
+{
+    mmu_ = std::make_unique<Mmu>(id, mmu, hierarchy, kernel, &stat_group_);
+    quantum_left_ = params_.quantum;
+
+    stat_group_.addStat("instructions", &instructions);
+    stat_group_.addStat("mem_refs", &mem_refs);
+    stat_group_.addStat("busy_cycles", &busy_cycles);
+    stat_group_.addStat("translation_cycles", &translation_cycles);
+    stat_group_.addStat("data_cycles", &data_cycles);
+    stat_group_.addStat("context_switches", &context_switches);
+}
+
+void
+Core::addThread(Thread *thread)
+{
+    threads_.push_back(thread);
+}
+
+void
+Core::clearThreads()
+{
+    threads_.clear();
+    current_ = 0;
+}
+
+bool
+Core::busy() const
+{
+    for (const Thread *thread : threads_) {
+        if (!thread->finished())
+            return true;
+    }
+    return false;
+}
+
+void
+Core::syncTo(Cycles target)
+{
+    if (now_ < target)
+        now_ = target;
+}
+
+bool
+Core::scheduleNext()
+{
+    if (threads_.empty())
+        return false;
+    const std::size_t start = current_;
+    std::size_t candidate = current_;
+    for (std::size_t i = 0; i < threads_.size(); ++i) {
+        candidate = (start + 1 + i) % threads_.size();
+        if (!threads_[candidate]->finished()) {
+            if (candidate != current_) {
+                // CR3 write; with PCID/CCID tags the TLB is not flushed.
+                now_ += params_.context_switch_cycles;
+                ++context_switches;
+            }
+            current_ = candidate;
+            quantum_left_ = params_.quantum;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Core::runUntil(Cycles until)
+{
+    if (threads_.empty()) {
+        now_ = until;
+        return;
+    }
+
+    while (now_ < until) {
+        Thread *thread = threads_[current_];
+        if (thread->finished() || quantum_left_ == 0) {
+            if (!scheduleNext()) {
+                now_ = until; // everyone finished: idle to the barrier
+                return;
+            }
+            continue;
+        }
+
+        MemRef ref;
+        if (!thread->next(ref)) {
+            // Thread just ran to completion.
+            if (!scheduleNext()) {
+                now_ = until;
+                return;
+            }
+            continue;
+        }
+
+        vm::Process *proc = thread->process();
+        bf_assert(proc, "thread without process");
+
+        // Base pipeline time for the instructions retired with this ref.
+        cpi_accum_ += params_.base_cpi * ref.instrs;
+        const auto base = static_cast<Cycles>(cpi_accum_);
+        cpi_accum_ -= static_cast<double>(base);
+
+        const Translation tr =
+            mmu_->translate(*proc, ref.va, ref.type, now_);
+
+        const auto mem = hierarchy_.access(id_, tr.paddr, ref.type, now_);
+
+        const Cycles spent = base + tr.cycles + mem.latency;
+        now_ += spent;
+        busy_cycles += spent;
+        translation_cycles += tr.cycles;
+        data_cycles += mem.latency;
+        instructions += ref.instrs;
+        ++mem_refs;
+        quantum_left_ -= std::min<Cycles>(quantum_left_, spent);
+
+        thread->completed(ref, now_);
+
+        if (ref.yield_after) {
+            // Blocking I/O: yield the core to the next container.
+            if (!scheduleNext()) {
+                now_ = until;
+                return;
+            }
+        }
+    }
+}
+
+void
+Core::resetStats()
+{
+    instructions.reset();
+    mem_refs.reset();
+    busy_cycles.reset();
+    translation_cycles.reset();
+    data_cycles.reset();
+    context_switches.reset();
+    mmu_->resetStats();
+}
+
+} // namespace bf::core

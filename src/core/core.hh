@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The timing core: pulls memory references from the scheduled container
+ * threads, charges base pipeline time plus the full translation and
+ * memory latency of each reference, and multiplexes threads with the OS
+ * scheduling quantum (containers are over-subscribed: 2-3 per core).
+ */
+
+#ifndef BF_CORE_CORE_HH
+#define BF_CORE_CORE_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "core/mmu.hh"
+#include "core/params.hh"
+#include "core/thread.hh"
+#include "mem/hierarchy.hh"
+
+namespace bf::core
+{
+
+/** One out-of-order core plus its MMU and run queue. */
+class Core
+{
+  public:
+    Core(unsigned id, const CoreParams &params, const MmuParams &mmu,
+         mem::CacheHierarchy &hierarchy, vm::Kernel &kernel,
+         stats::StatGroup *parent = nullptr);
+
+    /** Add a container thread to this core's run queue. */
+    void addThread(Thread *thread);
+
+    /** Remove all threads (between experiments). */
+    void clearThreads();
+
+    /** Whether any unfinished thread remains. */
+    bool busy() const;
+
+    /** The core's clock. */
+    Cycles now() const { return now_; }
+
+    /** Force the clock (used when cores idle while others run). */
+    void syncTo(Cycles target);
+
+    /**
+     * Execute until the clock reaches @p until (or the run queue
+     * empties). The scheduler rotates threads every quantum.
+     */
+    void runUntil(Cycles until);
+
+    Mmu &mmu() { return *mmu_; }
+    unsigned id() const { return id_; }
+
+    /** @{ @name Statistics */
+    stats::Scalar instructions;
+    stats::Scalar mem_refs;
+    stats::Scalar busy_cycles;
+    stats::Scalar translation_cycles;
+    stats::Scalar data_cycles;
+    stats::Scalar context_switches;
+    /** @} */
+
+    void resetStats();
+
+  private:
+    unsigned id_;
+    CoreParams params_;
+    mem::CacheHierarchy &hierarchy_;
+    stats::StatGroup stat_group_;
+    std::unique_ptr<Mmu> mmu_;
+
+    std::vector<Thread *> threads_;
+    std::size_t current_ = 0;
+    Cycles now_ = 0;
+    Cycles quantum_left_ = 0;
+    double cpi_accum_ = 0; //!< Fractional base-CPI carry.
+
+    /** Advance to the next runnable thread; true if one exists. */
+    bool scheduleNext();
+};
+
+} // namespace bf::core
+
+#endif // BF_CORE_CORE_HH

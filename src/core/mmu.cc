@@ -1,0 +1,358 @@
+#include "core/mmu.hh"
+
+#include "common/logging.hh"
+
+namespace bf::core
+{
+
+Mmu::Mmu(unsigned core_id, const MmuParams &params,
+         mem::CacheHierarchy &hierarchy, vm::Kernel &kernel,
+         stats::StatGroup *parent)
+    : core_id_(core_id), params_(params), hierarchy_(hierarchy),
+      kernel_(kernel), stat_group_("mmu", parent)
+{
+    l1i_4k_ = std::make_unique<tlb::Tlb>(params_.l1i_4k, &stat_group_);
+    l1d_[sizeIndex(PageSize::Size4K)] =
+        std::make_unique<tlb::Tlb>(params_.l1d_4k, &stat_group_);
+    l1d_[sizeIndex(PageSize::Size2M)] =
+        std::make_unique<tlb::Tlb>(params_.l1d_2m, &stat_group_);
+    l1d_[sizeIndex(PageSize::Size1G)] =
+        std::make_unique<tlb::Tlb>(params_.l1d_1g, &stat_group_);
+    l2_[sizeIndex(PageSize::Size4K)] =
+        std::make_unique<tlb::Tlb>(params_.l2_4k, &stat_group_);
+    l2_[sizeIndex(PageSize::Size2M)] =
+        std::make_unique<tlb::Tlb>(params_.l2_2m, &stat_group_);
+    l2_[sizeIndex(PageSize::Size1G)] =
+        std::make_unique<tlb::Tlb>(params_.l2_1g, &stat_group_);
+    pwc_ = std::make_unique<tlb::Pwc>(params_.pwc, &stat_group_);
+    walker_ = std::make_unique<tlb::PageWalker>(
+        core_id_, hierarchy_, kernel_, *pwc_, params_.babelfish,
+        &stat_group_);
+
+    stat_group_.addStat("l1_hits", &l1_hits);
+    stat_group_.addStat("l1_misses", &l1_misses);
+    stat_group_.addStat("l2_data_hits", &l2_data_hits);
+    stat_group_.addStat("l2_data_misses", &l2_data_misses);
+    stat_group_.addStat("l2_instr_hits", &l2_instr_hits);
+    stat_group_.addStat("l2_instr_misses", &l2_instr_misses);
+    stat_group_.addStat("l2_data_shared_hits", &l2_data_shared_hits);
+    stat_group_.addStat("l2_instr_shared_hits", &l2_instr_shared_hits);
+    stat_group_.addStat("l2_long_accesses", &l2_long_accesses);
+    stat_group_.addStat("minor_faults", &minor_faults);
+    stat_group_.addStat("major_faults", &major_faults);
+    stat_group_.addStat("cow_faults", &cow_faults);
+    stat_group_.addStat("shared_installs", &shared_installs);
+    stat_group_.addStat("fault_cycles", &fault_cycles);
+}
+
+tlb::TlbLookup
+Mmu::lookupL1(vm::Process &proc, Addr va, AccessType type,
+              PageSize &size_out, int process_bit)
+{
+    const bool share = params_.l1Sharing();
+
+    auto probeOne = [&](tlb::Tlb &tlb, PageSize size) {
+        const Vpn vpn = va >> pageShift(size);
+        tlb::TlbLookup lookup =
+            share ? tlb.lookupBabelFish(vpn, proc.ccid(), proc.pcid(),
+                                        process_bit)
+                  : tlb.lookupConventional(vpn, proc.pcid());
+        if (lookup.hit())
+            size_out = size;
+        return lookup;
+    };
+
+    if (isIfetch(type))
+        return probeOne(*l1i_4k_, PageSize::Size4K);
+
+    // The three size structures are probed in parallel in hardware.
+    for (PageSize size : {PageSize::Size4K, PageSize::Size2M,
+                          PageSize::Size1G}) {
+        tlb::TlbLookup lookup = probeOne(*l1d_[sizeIndex(size)], size);
+        if (lookup.hit())
+            return lookup;
+    }
+    return {};
+}
+
+tlb::TlbLookup
+Mmu::lookupL2(vm::Process &proc, Addr va, AccessType type,
+              PageSize &size_out, int process_bit)
+{
+    (void)type;
+    tlb::TlbLookup result;
+    for (PageSize size : {PageSize::Size4K, PageSize::Size2M,
+                          PageSize::Size1G}) {
+        tlb::Tlb &tlb = *l2_[sizeIndex(size)];
+        const Vpn vpn = va >> pageShift(size);
+        tlb::TlbLookup lookup =
+            params_.babelfish
+                ? tlb.lookupBabelFish(vpn, proc.ccid(), proc.pcid(),
+                                      process_bit)
+                : tlb.lookupConventional(vpn, proc.pcid());
+        result.bitmask_checked |= lookup.bitmask_checked;
+        if (lookup.hit()) {
+            size_out = size;
+            lookup.bitmask_checked = result.bitmask_checked;
+            return lookup;
+        }
+    }
+    return result;
+}
+
+void
+Mmu::fillL1(const tlb::TlbEntry &entry, vm::Process &proc, AccessType type)
+{
+    tlb::TlbEntry copy = entry;
+    copy.pcid = proc.pcid();
+    copy.ccid = proc.ccid();
+    if (isIfetch(type)) {
+        if (copy.size == PageSize::Size4K)
+            l1i_4k_->fill(copy, params_.l1Sharing());
+        return;
+    }
+    l1d_[sizeIndex(copy.size)]->fill(copy, params_.l1Sharing());
+}
+
+void
+Mmu::fillL2(const tlb::TlbEntry &entry, vm::Process &proc)
+{
+    tlb::TlbEntry copy = entry;
+    copy.ccid = proc.ccid();
+    // Shared entries keep the PCID of the filler so Shared Hits can be
+    // recognized; owned entries are tagged with the owner.
+    copy.pcid = proc.pcid();
+    copy.fill_pcid = proc.pcid();
+    l2_[sizeIndex(copy.size)]->fill(copy, params_.babelfish);
+}
+
+Translation
+Mmu::translate(vm::Process &proc, Addr canonical_va, AccessType type,
+               Cycles now)
+{
+    Translation result;
+    const bool is_write = type == AccessType::Write;
+
+    // The PC-bitmask bit this process owns for the page's region (-1 for
+    // the common case of no private copies).
+    const int process_bit =
+        params_.babelfish ? kernel_.processBit(proc, canonical_va) : -1;
+
+    for (int attempt = 0; attempt < 8; ++attempt) {
+        PageSize size = PageSize::Size4K;
+
+        // ---- L1 TLB: 1 cycle.
+        tlb::TlbLookup l1 = lookupL1(proc, canonical_va, type, size,
+                                     process_bit);
+        result.cycles += 1;
+        if (l1.hit()) {
+            const tlb::TlbEntry &entry = *l1.entry;
+            if (is_write && entry.cow) {
+                // Write to a CoW page: declared as a CoW page fault
+                // (Fig. 8, step 6).
+                const PageSize esize = entry.size;
+                const auto outcome =
+                    kernel_.handleFault(proc, canonical_va, type);
+                bf_assert(outcome.kind != vm::FaultKind::Protection,
+                          "protection fault at ", canonical_va);
+                if (outcome.kind == vm::FaultKind::None) {
+                    // Already resolved; only this core's copy is stale.
+                    applyInvalidate({vm::TlbInvalidate::Kind::Page,
+                                     proc.ccid(), proc.pcid(),
+                                     canonical_va >> pageShift(esize), 1,
+                                     esize});
+                }
+                result.cycles += outcome.cycles;
+                fault_cycles += outcome.cycles;
+                result.faulted = true;
+                ++cow_faults;
+                continue; // retry; the stale entries were shot down
+            }
+            ++l1_hits;
+            result.size = entry.size;
+            result.paddr = (entry.ppn << pageShift(entry.size)) |
+                           (canonical_va & (pageBytes(entry.size) - 1));
+            return result;
+        }
+        ++l1_misses;
+
+        // ---- ASLR-HW transform between L1 and L2 (paper §IV-D).
+        if (params_.babelfish && params_.aslr == vm::AslrMode::Hw)
+            result.cycles += params_.aslr_transform_cycles;
+
+        // ---- L2 TLB: 10 cycles, 12 when the PC bitmask is consulted.
+        tlb::TlbLookup l2 = lookupL2(proc, canonical_va, type, size,
+                                     process_bit);
+        const bool long_access =
+            l2.bitmask_checked ||
+            (params_.force_long_l2 && params_.babelfish);
+        const Cycles l2_time =
+            params_.l2_4k.access_cycles +
+            (long_access ? params_.l2_4k.bitmask_extra_cycles : 0);
+        result.cycles += l2_time;
+        if (long_access)
+            ++l2_long_accesses;
+
+        if (l2.hit()) {
+            const tlb::TlbEntry &entry = *l2.entry;
+            if (isIfetch(type)) {
+                ++l2_instr_hits;
+                if (l2.shared_hit)
+                    ++l2_instr_shared_hits;
+            } else {
+                ++l2_data_hits;
+                if (l2.shared_hit)
+                    ++l2_data_shared_hits;
+            }
+            if (is_write && entry.cow) {
+                const PageSize esize = entry.size;
+                const auto outcome =
+                    kernel_.handleFault(proc, canonical_va, type);
+                bf_assert(outcome.kind != vm::FaultKind::Protection,
+                          "protection fault at ", canonical_va);
+                if (outcome.kind == vm::FaultKind::None) {
+                    applyInvalidate({vm::TlbInvalidate::Kind::Page,
+                                     proc.ccid(), proc.pcid(),
+                                     canonical_va >> pageShift(esize), 1,
+                                     esize});
+                }
+                result.cycles += outcome.cycles;
+                fault_cycles += outcome.cycles;
+                result.faulted = true;
+                ++cow_faults;
+                continue;
+            }
+            fillL1(*l2.entry, proc, type);
+            result.size = entry.size;
+            result.paddr = (entry.ppn << pageShift(entry.size)) |
+                           (canonical_va & (pageBytes(entry.size) - 1));
+            return result;
+        }
+        if (isIfetch(type))
+            ++l2_instr_misses;
+        else
+            ++l2_data_misses;
+
+        // ---- Page walk.
+        tlb::WalkResult walk =
+            walker_->walk(proc, canonical_va, type, now + result.cycles);
+        result.cycles += walk.cycles;
+
+        if (walk.status == tlb::WalkStatus::Ok) {
+            fillL2(walk.fill, proc);
+            fillL1(walk.fill, proc, type);
+            result.size = walk.fill.size;
+            result.paddr =
+                (walk.fill.ppn << pageShift(walk.fill.size)) |
+                (canonical_va & (pageBytes(walk.fill.size) - 1));
+            return result;
+        }
+
+        bf_assert(walk.status != tlb::WalkStatus::Protection,
+                  "protection fault on walk: va=", canonical_va,
+                  " pid=", proc.pid());
+
+        // Page fault (not-present or CoW): invoke the OS and retry.
+        const auto outcome = kernel_.handleFault(proc, canonical_va, type);
+        bf_assert(outcome.kind != vm::FaultKind::Protection,
+                  "kernel protection fault at va=", canonical_va,
+                  " pid=", proc.pid());
+        result.cycles += outcome.cycles;
+        fault_cycles += outcome.cycles;
+        result.faulted = true;
+        switch (outcome.kind) {
+          case vm::FaultKind::Minor: ++minor_faults; break;
+          case vm::FaultKind::Major: ++major_faults; break;
+          case vm::FaultKind::Cow: ++cow_faults; break;
+          case vm::FaultKind::SharedInstall: ++shared_installs; break;
+          default: break;
+        }
+    }
+    bf_panic("translation did not converge at va=", canonical_va);
+}
+
+void
+Mmu::applyInvalidate(const vm::TlbInvalidate &inv)
+{
+    using Kind = vm::TlbInvalidate::Kind;
+    auto forEachTlb = [&](auto &&fn) {
+        fn(*l1i_4k_);
+        for (auto &tlb : l1d_)
+            fn(*tlb);
+        for (auto &tlb : l2_)
+            fn(*tlb);
+    };
+
+    switch (inv.kind) {
+      case Kind::Page:
+        forEachTlb([&](tlb::Tlb &tlb) {
+            if (tlb.params().page_size == inv.size)
+                tlb.invalidatePage(inv.pcid, inv.vpn);
+        });
+        break;
+      case Kind::SharedRange:
+        // Shared (O-clear) entries and their L1 copies: the per-process
+        // L1 copies of shared fills keep owned=false, so the range drop
+        // removes them on every core (conservative, like a remote
+        // shootdown IPI).
+        forEachTlb([&](tlb::Tlb &tlb) {
+            if (tlb.params().page_size == inv.size) {
+                tlb.invalidateSharedRange(inv.ccid, inv.vpn,
+                                          inv.num_pages);
+            } else if (inv.size == PageSize::Size4K) {
+                // Region shootdowns expressed in 4K VPNs also cover any
+                // huge entries overlapping the range.
+                const int shift = pageShift(tlb.params().page_size) -
+                                  pageShift(PageSize::Size4K);
+                const Vpn first = inv.vpn >> shift;
+                const Vpn last = (inv.vpn + inv.num_pages - 1) >> shift;
+                tlb.invalidateSharedRange(inv.ccid, first,
+                                          last - first + 1);
+            }
+        });
+        break;
+      case Kind::Pcid:
+        forEachTlb([&](tlb::Tlb &tlb) { tlb.invalidatePcid(inv.pcid); });
+        pwc_->invalidateAll();
+        break;
+    }
+}
+
+void
+Mmu::flushAll()
+{
+    l1i_4k_->invalidateAll();
+    for (auto &tlb : l1d_)
+        tlb->invalidateAll();
+    for (auto &tlb : l2_)
+        tlb->invalidateAll();
+    pwc_->invalidateAll();
+}
+
+void
+Mmu::resetStats()
+{
+    l1_hits.reset();
+    l1_misses.reset();
+    l2_data_hits.reset();
+    l2_data_misses.reset();
+    l2_instr_hits.reset();
+    l2_instr_misses.reset();
+    l2_data_shared_hits.reset();
+    l2_instr_shared_hits.reset();
+    l2_long_accesses.reset();
+    minor_faults.reset();
+    major_faults.reset();
+    cow_faults.reset();
+    shared_installs.reset();
+    fault_cycles.reset();
+    l1i_4k_->resetStats();
+    for (auto &tlb : l1d_)
+        tlb->resetStats();
+    for (auto &tlb : l2_)
+        tlb->resetStats();
+    pwc_->resetStats();
+    walker_->resetStats();
+}
+
+} // namespace bf::core

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The per-core MMU: L1 I/D TLBs, the unified L2 TLB, the ASLR-HW
+ * transform between them, the page-walk cache and walker, and the
+ * page-fault retry loop.
+ */
+
+#ifndef BF_CORE_MMU_HH
+#define BF_CORE_MMU_HH
+
+#include <array>
+#include <memory>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "core/params.hh"
+#include "mem/hierarchy.hh"
+#include "tlb/page_walk_cache.hh"
+#include "tlb/page_walker.hh"
+#include "tlb/tlb.hh"
+#include "vm/kernel.hh"
+#include "vm/tlb_hooks.hh"
+
+namespace bf::core
+{
+
+/** Result of one address translation. */
+struct Translation
+{
+    Cycles cycles = 0;     //!< Total translation latency incl. faults.
+    Addr paddr = 0;        //!< Physical address of the access.
+    PageSize size = PageSize::Size4K;
+    bool faulted = false;  //!< Any page fault was taken.
+};
+
+/** One core's memory-management unit. */
+class Mmu
+{
+  public:
+    /**
+     * @param core_id owning core.
+     * @param params TLB geometry and BabelFish/ASLR configuration.
+     * @param hierarchy cache hierarchy for walks.
+     * @param kernel page-table owner / fault handler.
+     */
+    Mmu(unsigned core_id, const MmuParams &params,
+        mem::CacheHierarchy &hierarchy, vm::Kernel &kernel,
+        stats::StatGroup *parent = nullptr);
+
+    /**
+     * Translate a canonical VA for a process, handling faults.
+     * @param now the core's current cycle.
+     */
+    Translation translate(vm::Process &proc, Addr canonical_va,
+                          AccessType type, Cycles now);
+
+    /** Apply a kernel shootdown to every TLB structure of this core. */
+    void applyInvalidate(const vm::TlbInvalidate &inv);
+
+    /** Drop all TLB and PWC state (tests / phase changes). */
+    void flushAll();
+
+    /** @{ @name Structure access for tests */
+    tlb::Tlb &l1d(PageSize size) { return *l1d_[sizeIndex(size)]; }
+    tlb::Tlb &l1i() { return *l1i_4k_; }
+    tlb::Tlb &l2(PageSize size) { return *l2_[sizeIndex(size)]; }
+    tlb::Pwc &pwc() { return *pwc_; }
+    tlb::PageWalker &walker() { return *walker_; }
+    /** @} */
+
+    /** @{ @name Statistics (access-level, across page sizes) */
+    stats::Scalar l1_hits;
+    stats::Scalar l1_misses;
+    stats::Scalar l2_data_hits;
+    stats::Scalar l2_data_misses;
+    stats::Scalar l2_instr_hits;
+    stats::Scalar l2_instr_misses;
+    stats::Scalar l2_data_shared_hits;
+    stats::Scalar l2_instr_shared_hits;
+    stats::Scalar l2_long_accesses;   //!< 12-cycle PC-bitmask lookups.
+    stats::Scalar minor_faults;
+    stats::Scalar major_faults;
+    stats::Scalar cow_faults;
+    stats::Scalar shared_installs;
+    stats::Scalar fault_cycles;
+    /** @} */
+
+    void resetStats();
+
+    const MmuParams &params() const { return params_; }
+
+  private:
+    unsigned core_id_;
+    MmuParams params_;
+    mem::CacheHierarchy &hierarchy_;
+    vm::Kernel &kernel_;
+    stats::StatGroup stat_group_;
+
+    std::unique_ptr<tlb::Tlb> l1i_4k_;
+    std::array<std::unique_ptr<tlb::Tlb>, numPageSizes> l1d_;
+    std::array<std::unique_ptr<tlb::Tlb>, numPageSizes> l2_;
+    std::unique_ptr<tlb::Pwc> pwc_;
+    std::unique_ptr<tlb::PageWalker> walker_;
+
+    static unsigned sizeIndex(PageSize size)
+    {
+        return static_cast<unsigned>(size);
+    }
+
+    /** Probe the right L1 structures; returns the lookup and size. */
+    tlb::TlbLookup lookupL1(vm::Process &proc, Addr va, AccessType type,
+                            PageSize &size_out, int process_bit);
+    /** Probe the L2 structures. */
+    tlb::TlbLookup lookupL2(vm::Process &proc, Addr va, AccessType type,
+                            PageSize &size_out, int process_bit);
+
+    void fillL1(const tlb::TlbEntry &entry, vm::Process &proc,
+                AccessType type);
+    void fillL2(const tlb::TlbEntry &entry, vm::Process &proc);
+};
+
+} // namespace bf::core
+
+#endif // BF_CORE_MMU_HH

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Aggregated architecture parameters, defaulting to Table I of the paper.
+ */
+
+#ifndef BF_CORE_PARAMS_HH
+#define BF_CORE_PARAMS_HH
+
+#include "common/types.hh"
+#include "mem/hierarchy.hh"
+#include "tlb/page_walk_cache.hh"
+#include "tlb/tlb.hh"
+#include "vm/kernel.hh"
+
+namespace bf::core
+{
+
+/** MMU (TLB hierarchy) parameters per core. */
+struct MmuParams
+{
+    // L1 TLBs: 1-cycle access (Table I).
+    tlb::TlbParams l1i_4k{ "l1i_tlb4k", 64, 4, PageSize::Size4K, 1, 0 };
+    tlb::TlbParams l1d_4k{ "l1d_tlb4k", 64, 4, PageSize::Size4K, 1, 0 };
+    tlb::TlbParams l1d_2m{ "l1d_tlb2m", 32, 4, PageSize::Size2M, 1, 0 };
+    tlb::TlbParams l1d_1g{ "l1d_tlb1g", 4, 0, PageSize::Size1G, 1, 0 };
+
+    // Unified L2 TLB: 10-cycle access, 12 when the PC bitmask is read.
+    tlb::TlbParams l2_4k{ "l2_tlb4k", 1536, 12, PageSize::Size4K, 10, 2 };
+    tlb::TlbParams l2_2m{ "l2_tlb2m", 1536, 12, PageSize::Size2M, 10, 2 };
+    tlb::TlbParams l2_1g{ "l2_tlb1g", 16, 4, PageSize::Size1G, 10, 2 };
+
+    tlb::PwcParams pwc{};
+
+    bool babelfish = true;            //!< CCID TLB sharing enabled.
+    vm::AslrMode aslr = vm::AslrMode::Hw;
+
+    /** ASLR-HW address transformation on an L1 TLB miss (Table I). */
+    Cycles aslr_transform_cycles = 2;
+
+    /**
+     * Ablation: disable the ORPC short-circuit of Fig. 5(b), making
+     * every L2 TLB access pay the long (PC-bitmask) access time.
+     */
+    bool force_long_l2 = false;
+
+    /**
+     * L1 TLB entry sharing: only sound under ASLR-SW (same layouts). The
+     * paper's default evaluation keeps it off (ASLR-HW).
+     */
+    bool
+    l1Sharing() const
+    {
+        return babelfish && aslr != vm::AslrMode::Hw;
+    }
+};
+
+/** Timing-core parameters. */
+struct CoreParams
+{
+    /** Base pipeline cycles charged per instruction (2-issue OoO). */
+    double base_cpi = 0.5;
+    /** Scheduling quantum (Table I: 10 ms at 2 GHz). */
+    Cycles quantum = msToCycles(10);
+    /** Direct cost of a context switch (CR3 write; no TLB flush). */
+    Cycles context_switch_cycles = 1500;
+};
+
+/** Whole-machine parameters. */
+struct SystemParams
+{
+    unsigned num_cores = 8;
+    CoreParams core{};
+    MmuParams mmu{};
+    mem::HierarchyParams mem{};
+    vm::KernelParams kernel{};
+    std::uint64_t seed = 42;
+
+    /** A fully wired Baseline configuration (no BabelFish anywhere). */
+    static SystemParams
+    baseline()
+    {
+        SystemParams p;
+        p.kernel.babelfish = false;
+        p.mmu.babelfish = false;
+        return p;
+    }
+
+    /** The paper's default BabelFish configuration (ASLR-HW). */
+    static SystemParams
+    babelfish()
+    {
+        return SystemParams{};
+    }
+
+    /**
+     * Page-table fusion only: the kernel shares tables (fewer faults,
+     * warm caches for walks) but the TLB stays conventional. The delta
+     * between this and full BabelFish isolates the L2 TLB effects of
+     * Table II.
+     */
+    static SystemParams
+    pageTableSharingOnly()
+    {
+        SystemParams p;
+        p.kernel.babelfish = true;
+        p.mmu.babelfish = false;
+        return p;
+    }
+};
+
+} // namespace bf::core
+
+#endif // BF_CORE_PARAMS_HH

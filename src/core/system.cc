@@ -1,0 +1,132 @@
+#include "core/system.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace bf::core
+{
+
+System::System(const SystemParams &params)
+    : params_(params), stat_group_("system")
+{
+    bf_assert(params_.kernel.babelfish || !params_.mmu.l1Sharing(),
+              "L1 sharing requires BabelFish kernel");
+    // Keep MMU and kernel ASLR config coherent.
+    params_.mmu.aslr = params_.kernel.aslr;
+
+    kernel_ = std::make_unique<vm::Kernel>(params_.kernel, &stat_group_);
+    hierarchy_ = std::make_unique<mem::CacheHierarchy>(
+        params_.mem, params_.num_cores, &stat_group_);
+    for (unsigned i = 0; i < params_.num_cores; ++i) {
+        cores_.push_back(std::make_unique<Core>(
+            i, params_.core, params_.mmu, *hierarchy_, *kernel_,
+            &stat_group_));
+    }
+
+    kernel_->setTlbInvalidateHook([this](const vm::TlbInvalidate &inv) {
+        for (auto &core : cores_)
+            core->mmu().applyInvalidate(inv);
+    });
+}
+
+void
+System::addThread(unsigned core, Thread *thread)
+{
+    bf_assert(core < cores_.size(), "core out of range");
+    cores_[core]->addThread(thread);
+}
+
+void
+System::run(Cycles duration)
+{
+    Cycles start = 0;
+    for (const auto &core : cores_)
+        start = std::max(start, core->now());
+    const Cycles end = start + duration;
+
+    Cycles barrier = start;
+    while (barrier < end) {
+        barrier = std::min(barrier + syncChunk, end);
+        for (auto &core : cores_)
+            core->runUntil(barrier);
+    }
+}
+
+void
+System::runUntilFinished(Cycles max_cycles)
+{
+    Cycles start = 0;
+    for (const auto &core : cores_)
+        start = std::max(start, core->now());
+    const Cycles end = start + max_cycles;
+
+    Cycles barrier = start;
+    while (barrier < end) {
+        bool any_busy = false;
+        for (const auto &core : cores_) {
+            if (core->busy()) {
+                any_busy = true;
+                break;
+            }
+        }
+        if (!any_busy)
+            return;
+        barrier = std::min(barrier + syncChunk, end);
+        for (auto &core : cores_)
+            core->runUntil(barrier);
+    }
+    warn("runUntilFinished hit the cycle cap");
+}
+
+void
+System::resetStats()
+{
+    for (auto &core : cores_)
+        core->resetStats();
+    hierarchy_->resetStats();
+}
+
+std::uint64_t
+System::totalInstructions() const
+{
+    std::uint64_t total = 0;
+    for (const auto &core : cores_)
+        total += core->instructions.value();
+    return total;
+}
+
+std::uint64_t
+System::totalL2TlbMisses(bool instruction) const
+{
+    std::uint64_t total = 0;
+    for (const auto &core : cores_) {
+        total += instruction ? core->mmu().l2_instr_misses.value()
+                             : core->mmu().l2_data_misses.value();
+    }
+    return total;
+}
+
+std::uint64_t
+System::totalL2TlbHits(bool instruction) const
+{
+    std::uint64_t total = 0;
+    for (const auto &core : cores_) {
+        total += instruction ? core->mmu().l2_instr_hits.value()
+                             : core->mmu().l2_data_hits.value();
+    }
+    return total;
+}
+
+std::uint64_t
+System::totalL2TlbSharedHits(bool instruction) const
+{
+    std::uint64_t total = 0;
+    for (const auto &core : cores_) {
+        total += instruction ? core->mmu().l2_instr_shared_hits.value()
+                             : core->mmu().l2_data_shared_hits.value();
+    }
+    return total;
+}
+
+} // namespace bf::core

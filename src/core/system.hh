@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The top level: one simulated 8-core server (Table I) — kernel, cache
+ * hierarchy, cores with their MMUs — plus the lockstep driver that keeps
+ * the cores' clocks loosely synchronized so shared-L3 and DRAM
+ * interactions are meaningful.
+ *
+ * This is the primary public entry point of the library:
+ *
+ * @code
+ *   bf::core::System sys(bf::core::SystemParams::babelfish());
+ *   auto ccid = sys.kernel().createGroup("httpd", seed);
+ *   ... create processes / threads (see bf::workloads) ...
+ *   sys.addThread(core, thread);
+ *   sys.run(bf::msToCycles(50));
+ * @endcode
+ */
+
+#ifndef BF_CORE_SYSTEM_HH
+#define BF_CORE_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "core/core.hh"
+#include "core/params.hh"
+#include "mem/hierarchy.hh"
+#include "vm/kernel.hh"
+
+namespace bf::core
+{
+
+/** One simulated machine. */
+class System
+{
+  public:
+    explicit System(const SystemParams &params);
+
+    vm::Kernel &kernel() { return *kernel_; }
+    mem::CacheHierarchy &memory() { return *hierarchy_; }
+    Core &core(unsigned i) { return *cores_[i]; }
+    unsigned numCores() const
+    {
+        return static_cast<unsigned>(cores_.size());
+    }
+
+    /** Put a workload thread on a core's run queue. */
+    void addThread(unsigned core, Thread *thread);
+
+    /**
+     * Run for @p duration cycles past the slowest core's current clock,
+     * advancing cores in small lockstep chunks.
+     */
+    void run(Cycles duration);
+
+    /** Run until every thread on every core finished (or max cycles). */
+    void runUntilFinished(Cycles max_cycles);
+
+    /** Reset every statistic (end of warm-up). */
+    void resetStats();
+
+    /** Aggregate counters across cores. */
+    std::uint64_t totalInstructions() const;
+    std::uint64_t totalL2TlbMisses(bool instruction) const;
+    std::uint64_t totalL2TlbHits(bool instruction) const;
+    std::uint64_t totalL2TlbSharedHits(bool instruction) const;
+
+    /** Root of the statistics tree ("system."). */
+    stats::StatGroup &stats() { return stat_group_; }
+
+    const SystemParams &params() const { return params_; }
+
+  private:
+    SystemParams params_;
+    stats::StatGroup stat_group_;
+    std::unique_ptr<vm::Kernel> kernel_;
+    std::unique_ptr<mem::CacheHierarchy> hierarchy_;
+    std::vector<std::unique_ptr<Core>> cores_;
+
+    /** Lockstep chunk size in cycles. */
+    static constexpr Cycles syncChunk = 20000;
+};
+
+} // namespace bf::core
+
+#endif // BF_CORE_SYSTEM_HH

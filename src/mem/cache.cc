@@ -1,0 +1,124 @@
+#include "mem/cache.hh"
+
+#include "common/logging.hh"
+
+namespace bf::mem
+{
+
+Cache::Cache(const CacheParams &params, stats::StatGroup *parent)
+    : params_(params), num_sets_(params.numSets()),
+      stat_group_(params.name, parent)
+{
+    bf_assert(num_sets_ > 0, "cache ", params_.name, " has zero sets");
+    bf_assert((num_sets_ & (num_sets_ - 1)) == 0,
+              "cache ", params_.name, " set count not a power of two");
+    lines_.resize(num_sets_ * params_.assoc);
+
+    stat_group_.addStat("hits", &hits);
+    stat_group_.addStat("misses", &misses);
+    stat_group_.addStat("evictions", &evictions);
+    stat_group_.addStat("writebacks", &writebacks);
+    stat_group_.addStat("invalidations", &invalidations);
+}
+
+Cache::Line *
+Cache::find(Addr line_num)
+{
+    const std::uint64_t set = setIndex(line_num);
+    Line *base = &lines_[set * params_.assoc];
+    for (unsigned way = 0; way < params_.assoc; ++way) {
+        if (base[way].valid && base[way].tag == line_num)
+            return &base[way];
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::find(Addr line_num) const
+{
+    return const_cast<Cache *>(this)->find(line_num);
+}
+
+bool
+Cache::access(Addr line_addr, bool is_write)
+{
+    const Addr line_num = lineOf(line_addr);
+    Line *line = find(line_num);
+    if (line) {
+        line->lru = ++lru_clock_;
+        line->dirty |= is_write;
+        ++hits;
+        return true;
+    }
+    ++misses;
+    return false;
+}
+
+bool
+Cache::insert(Addr line_addr, bool is_write, bool &evicted_dirty)
+{
+    const Addr line_num = lineOf(line_addr);
+    const std::uint64_t set = setIndex(line_num);
+    Line *base = &lines_[set * params_.assoc];
+
+    Line *victim = &base[0];
+    for (unsigned way = 0; way < params_.assoc; ++way) {
+        if (!base[way].valid) {
+            victim = &base[way];
+            break;
+        }
+        if (base[way].lru < victim->lru)
+            victim = &base[way];
+    }
+
+    const bool had_victim = victim->valid;
+    evicted_dirty = had_victim && victim->dirty;
+    if (had_victim) {
+        ++evictions;
+        if (evicted_dirty)
+            ++writebacks;
+    }
+
+    victim->tag = line_num;
+    victim->valid = true;
+    victim->dirty = is_write;
+    victim->lru = ++lru_clock_;
+    return had_victim;
+}
+
+bool
+Cache::invalidate(Addr line_addr)
+{
+    Line *line = find(lineOf(line_addr));
+    if (!line)
+        return false;
+    line->valid = false;
+    line->dirty = false;
+    ++invalidations;
+    return true;
+}
+
+bool
+Cache::contains(Addr line_addr) const
+{
+    return find(lineOf(line_addr)) != nullptr;
+}
+
+void
+Cache::flush()
+{
+    for (auto &line : lines_)
+        line = Line{};
+}
+
+void
+Cache::resetStats()
+{
+    hits.reset();
+    misses.reset();
+    evictions.reset();
+    writebacks.reset();
+    invalidations.reset();
+}
+
+} // namespace bf::mem

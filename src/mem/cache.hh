@@ -1,0 +1,118 @@
+/**
+ * @file
+ * A set-associative, write-back cache tag model with true-LRU replacement.
+ *
+ * The model is functional over cache-line tags (no data storage) and is
+ * shared by the L1 I/D, L2 and L3 levels. Timing is applied by the
+ * CacheHierarchy; this class only answers hit/miss and maintains the tags.
+ */
+
+#ifndef BF_MEM_CACHE_HH
+#define BF_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace bf::mem
+{
+
+/** Geometry and bookkeeping parameters of one cache level. */
+struct CacheParams
+{
+    std::string name = "cache";
+    std::uint64_t size_bytes = 32 * 1024;
+    unsigned assoc = 8;
+    unsigned line_bytes = 64;
+    Cycles access_cycles = 2;       //!< Latency charged on a hit.
+    unsigned mshrs = 16;            //!< Outstanding-miss bookkeeping only.
+
+    /** Number of sets implied by the geometry. */
+    std::uint64_t
+    numSets() const
+    {
+        return size_bytes / (static_cast<std::uint64_t>(assoc) * line_bytes);
+    }
+};
+
+/** Tag-only set-associative cache with LRU replacement. */
+class Cache
+{
+  public:
+    /**
+     * @param params geometry of this level.
+     * @param parent stat group to register under, may be null.
+     */
+    explicit Cache(const CacheParams &params,
+                   stats::StatGroup *parent = nullptr);
+
+    /**
+     * Look up a line and update LRU/dirty state.
+     *
+     * @param line_addr byte address; only the line number is used.
+     * @param is_write whether the access dirties the line.
+     * @return true on hit.
+     */
+    bool access(Addr line_addr, bool is_write);
+
+    /**
+     * Insert a line, evicting the LRU way of its set if needed.
+     *
+     * @param line_addr the line to insert.
+     * @param is_write whether to insert dirty.
+     * @param[out] evicted_dirty true if a dirty victim was written back.
+     * @return true if a valid victim was evicted.
+     */
+    bool insert(Addr line_addr, bool is_write, bool &evicted_dirty);
+
+    /** Invalidate a line if present (coherence or TLB-shootdown path). */
+    bool invalidate(Addr line_addr);
+
+    /** Whether a line is present, with no LRU side effects. */
+    bool contains(Addr line_addr) const;
+
+    /** Drop every line (used between experiment phases). */
+    void flush();
+
+    /** Latency of a hit at this level. */
+    Cycles accessCycles() const { return params_.access_cycles; }
+
+    const CacheParams &params() const { return params_; }
+
+    /** @{ @name Statistics */
+    stats::Scalar hits;
+    stats::Scalar misses;
+    stats::Scalar evictions;
+    stats::Scalar writebacks;
+    stats::Scalar invalidations;
+    /** @} */
+
+    /** Reset all statistics (tags retained). */
+    void resetStats();
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lru = 0;      //!< Higher = more recently used.
+    };
+
+    CacheParams params_;
+    std::uint64_t num_sets_;
+    std::vector<Line> lines_;       //!< num_sets_ * assoc, set-major.
+    std::uint64_t lru_clock_ = 0;
+    stats::StatGroup stat_group_;
+
+    std::uint64_t setIndex(Addr line_num) const { return line_num % num_sets_; }
+    Line *find(Addr line_num);
+    const Line *find(Addr line_num) const;
+};
+
+} // namespace bf::mem
+
+#endif // BF_MEM_CACHE_HH

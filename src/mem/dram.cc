@@ -1,0 +1,94 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace bf::mem
+{
+
+Dram::Dram(const DramParams &params, stats::StatGroup *parent)
+    : params_(params), stat_group_("dram", parent)
+{
+    banks_.resize(numBanks());
+    stat_group_.addStat("reads", &reads);
+    stat_group_.addStat("writes", &writes);
+    stat_group_.addStat("row_hits", &row_hits);
+    stat_group_.addStat("row_misses", &row_misses);
+    stat_group_.addStat("row_conflicts", &row_conflicts);
+}
+
+unsigned
+Dram::numBanks() const
+{
+    return params_.channels * params_.ranks_per_channel *
+           params_.banks_per_rank;
+}
+
+Dram::Bank &
+Dram::bankFor(Addr paddr, std::uint64_t &row_out)
+{
+    // Address mapping: lines interleave across channels; within a
+    // channel, consecutive lines fill one row of one bank (so streams get
+    // row-buffer hits), and successive row-sized chunks interleave across
+    // banks, then ranks, for parallelism.
+    const Addr line = paddr / cacheLineBytes;
+    const unsigned channel = line % params_.channels;
+    const std::uint64_t chan_line = line / params_.channels;
+    const std::uint64_t lines_per_row =
+        params_.row_bytes / cacheLineBytes / params_.channels;
+    const std::uint64_t row_chunk = chan_line / lines_per_row;
+    const unsigned bank = row_chunk % params_.banks_per_rank;
+    const unsigned rank =
+        (row_chunk / params_.banks_per_rank) % params_.ranks_per_channel;
+    // row_chunk uniquely identifies the open row within its bank.
+    row_out = row_chunk;
+    const unsigned idx =
+        (channel * params_.ranks_per_channel + rank) *
+            params_.banks_per_rank + bank;
+    return banks_[idx];
+}
+
+Cycles
+Dram::access(Addr paddr, Cycles now, bool is_write)
+{
+    if (is_write)
+        ++writes;
+    else
+        ++reads;
+
+    std::uint64_t row = 0;
+    Bank &bank = bankFor(paddr, row);
+
+    const Cycles start = std::max(now, bank.ready_at);
+    const Cycles queue = start - now;
+
+    Cycles service = params_.t_cas;
+    if (!bank.row_open) {
+        ++row_misses;
+        service += params_.t_rcd;
+    } else if (bank.open_row != row) {
+        ++row_conflicts;
+        service += params_.t_rp + params_.t_rcd;
+    } else {
+        ++row_hits;
+    }
+
+    bank.row_open = true;
+    bank.open_row = row;
+    bank.ready_at = start + service + params_.t_burst;
+
+    return queue + service + params_.t_burst + params_.channel_latency;
+}
+
+void
+Dram::resetStats()
+{
+    reads.reset();
+    writes.reset();
+    row_hits.reset();
+    row_misses.reset();
+    row_conflicts.reset();
+}
+
+} // namespace bf::mem

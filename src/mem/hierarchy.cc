@@ -1,0 +1,125 @@
+#include "mem/hierarchy.hh"
+
+#include "common/logging.hh"
+
+namespace bf::mem
+{
+
+const char *
+memLevelName(MemLevel level)
+{
+    switch (level) {
+      case MemLevel::L1: return "L1";
+      case MemLevel::L2: return "L2";
+      case MemLevel::L3: return "L3";
+      case MemLevel::Memory: return "Memory";
+    }
+    return "?";
+}
+
+CacheHierarchy::CacheHierarchy(const HierarchyParams &params,
+                               unsigned num_cores,
+                               stats::StatGroup *parent)
+    : params_(params), num_cores_(num_cores), stat_group_("caches", parent)
+{
+    bf_assert(num_cores_ > 0, "hierarchy needs at least one core");
+    for (unsigned c = 0; c < num_cores_; ++c) {
+        core_groups_.push_back(std::make_unique<stats::StatGroup>(
+            "core" + std::to_string(c), &stat_group_));
+        l1i_.push_back(std::make_unique<Cache>(params_.l1i,
+                                               core_groups_[c].get()));
+        l1d_.push_back(std::make_unique<Cache>(params_.l1d,
+                                               core_groups_[c].get()));
+        l2_.push_back(std::make_unique<Cache>(params_.l2,
+                                              core_groups_[c].get()));
+    }
+    l3_ = std::make_unique<Cache>(params_.l3, &stat_group_);
+    dram_ = std::make_unique<Dram>(params_.dram, &stat_group_);
+}
+
+MemAccessResult
+CacheHierarchy::access(unsigned core, Addr paddr, AccessType type,
+                       Cycles now, bool start_at_l2)
+{
+    bf_assert(core < num_cores_, "core ", core, " out of range");
+    const bool is_write = type == AccessType::Write;
+
+    MemAccessResult result;
+    Cache *l1 = isIfetch(type) ? l1i_[core].get() : l1d_[core].get();
+    bool dirty = false;
+
+    if (!start_at_l2) {
+        result.latency += l1->accessCycles();
+        if (l1->access(paddr, is_write)) {
+            result.served_by = MemLevel::L1;
+            if (is_write && params_.model_coherence)
+                probeInvalidate(core, paddr);
+            return result;
+        }
+    }
+
+    Cache *l2 = l2_[core].get();
+    result.latency += l2->accessCycles();
+    if (l2->access(paddr, is_write)) {
+        result.served_by = MemLevel::L2;
+        if (!start_at_l2)
+            l1->insert(paddr, is_write, dirty);
+        if (is_write && params_.model_coherence)
+            probeInvalidate(core, paddr);
+        return result;
+    }
+
+    result.latency += l3_->accessCycles();
+    if (l3_->access(paddr, is_write)) {
+        result.served_by = MemLevel::L3;
+    } else {
+        result.served_by = MemLevel::Memory;
+        result.latency += dram_->access(paddr, now + result.latency,
+                                        is_write);
+        l3_->insert(paddr, is_write, dirty);
+    }
+
+    l2->insert(paddr, is_write, dirty);
+    if (!start_at_l2)
+        l1->insert(paddr, is_write, dirty);
+    if (is_write && params_.model_coherence)
+        probeInvalidate(core, paddr);
+    return result;
+}
+
+void
+CacheHierarchy::probeInvalidate(unsigned writer_core, Addr paddr)
+{
+    for (unsigned c = 0; c < num_cores_; ++c) {
+        if (c == writer_core)
+            continue;
+        l1i_[c]->invalidate(paddr);
+        l1d_[c]->invalidate(paddr);
+        l2_[c]->invalidate(paddr);
+    }
+}
+
+void
+CacheHierarchy::flushAll()
+{
+    for (unsigned c = 0; c < num_cores_; ++c) {
+        l1i_[c]->flush();
+        l1d_[c]->flush();
+        l2_[c]->flush();
+    }
+    l3_->flush();
+}
+
+void
+CacheHierarchy::resetStats()
+{
+    for (unsigned c = 0; c < num_cores_; ++c) {
+        l1i_[c]->resetStats();
+        l1d_[c]->resetStats();
+        l2_[c]->resetStats();
+    }
+    l3_->resetStats();
+    dram_->resetStats();
+}
+
+} // namespace bf::mem

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The three-level cache hierarchy of the modeled 8-core server (Table I):
+ * per-core 32 KB L1 I+D and 256 KB unified L2, one shared 8 MB L3, and a
+ * banked DRAM main memory behind it.
+ *
+ * The shared L3 is where BabelFish's page-table sharing pays off across
+ * cores: a page walk by one container leaves pte_t lines that a walk by
+ * another container on another core hits (paper Fig. 7).
+ */
+
+#ifndef BF_MEM_HIERARCHY_HH
+#define BF_MEM_HIERARCHY_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+
+namespace bf::mem
+{
+
+/** Where a request was finally served from. */
+enum class MemLevel : std::uint8_t
+{
+    L1,
+    L2,
+    L3,
+    Memory,
+};
+
+/** Name of a hierarchy level for reports. */
+const char *memLevelName(MemLevel level);
+
+/** Outcome of one cache-hierarchy access. */
+struct MemAccessResult
+{
+    Cycles latency = 0;
+    MemLevel served_by = MemLevel::Memory;
+};
+
+/** Parameters of the whole hierarchy (defaults follow Table I). */
+struct HierarchyParams
+{
+    CacheParams l1i{ "l1i", 32 * 1024, 8, 64, 2, 16 };
+    CacheParams l1d{ "l1d", 32 * 1024, 8, 64, 2, 16 };
+    CacheParams l2{ "l2", 256 * 1024, 8, 64, 8, 16 };
+    CacheParams l3{ "l3", 8 * 1024 * 1024, 16, 64, 32, 128 };
+    DramParams dram{};
+    bool model_coherence = true; //!< Probe-invalidate peers on writes.
+};
+
+/** Per-core L1/L2 plus shared L3 and DRAM. */
+class CacheHierarchy
+{
+  public:
+    /**
+     * @param params cache and memory geometry.
+     * @param num_cores number of cores (private cache pairs).
+     * @param parent stat group to register under, may be null.
+     */
+    CacheHierarchy(const HierarchyParams &params, unsigned num_cores,
+                   stats::StatGroup *parent = nullptr);
+
+    /**
+     * Perform one access from a core.
+     *
+     * @param core issuing core index.
+     * @param paddr physical byte address.
+     * @param type read / write / ifetch (selects L1 I vs D).
+     * @param now the core's current cycle (for DRAM queueing).
+     * @param start_at_l2 skip the L1 (hardware page-walker requests enter
+     *        the hierarchy at the L2, as in the paper's Fig. 7).
+     * @return latency and serving level.
+     */
+    MemAccessResult access(unsigned core, Addr paddr, AccessType type,
+                           Cycles now, bool start_at_l2 = false);
+
+    /** Drop every line in every cache. */
+    void flushAll();
+
+    /** Reset statistics of all levels. */
+    void resetStats();
+
+    unsigned numCores() const { return num_cores_; }
+
+    /** Direct access for tests. */
+    Cache &l1d(unsigned core) { return *l1d_[core]; }
+    Cache &l1i(unsigned core) { return *l1i_[core]; }
+    Cache &l2(unsigned core) { return *l2_[core]; }
+    Cache &l3() { return *l3_; }
+    Dram &dram() { return *dram_; }
+
+  private:
+    HierarchyParams params_;
+    unsigned num_cores_;
+    stats::StatGroup stat_group_;
+    std::vector<std::unique_ptr<stats::StatGroup>> core_groups_;
+    std::vector<std::unique_ptr<Cache>> l1i_;
+    std::vector<std::unique_ptr<Cache>> l1d_;
+    std::vector<std::unique_ptr<Cache>> l2_;
+    std::unique_ptr<Cache> l3_;
+    std::unique_ptr<Dram> dram_;
+
+    void probeInvalidate(unsigned writer_core, Addr paddr);
+};
+
+} // namespace bf::mem
+
+#endif // BF_MEM_HIERARCHY_HH

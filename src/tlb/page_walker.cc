@@ -1,0 +1,168 @@
+#include "tlb/page_walker.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "vm/page_table.hh"
+#include "vm/paging.hh"
+
+namespace bf::tlb
+{
+
+PageWalker::PageWalker(unsigned core_id, mem::CacheHierarchy &hierarchy,
+                       vm::Kernel &kernel, Pwc &pwc, bool babelfish,
+                       stats::StatGroup *parent)
+    : core_id_(core_id), hierarchy_(hierarchy), kernel_(kernel), pwc_(pwc),
+      babelfish_(babelfish), stat_group_("walker", parent)
+{
+    stat_group_.addStat("walks", &walks);
+    stat_group_.addStat("walk_cycles", &walk_cycles);
+    stat_group_.addStat("mem_steps", &mem_steps);
+    stat_group_.addStat("pwc_steps", &pwc_steps);
+    stat_group_.addStat("mask_fetches", &mask_fetches);
+}
+
+WalkResult
+PageWalker::walk(vm::Process &proc, Addr canonical_va, AccessType type,
+                 Cycles now)
+{
+    using namespace vm;
+
+    ++walks;
+    WalkResult result;
+    const bool is_write = type == AccessType::Write;
+
+    PageTablePage *table = proc.pgd();
+    bool upper_owned = false;
+    bool upper_orpc = false;
+    Cycles leaf_fetch_cycles = 0;
+
+    for (int level = LevelPgd; level >= LevelPte; --level) {
+        bf_assert(table->level() == level, "walk level mismatch");
+        Entry &entry = table->entryFor(canonical_va);
+        const Addr entry_paddr = table->entryPaddrFor(canonical_va);
+
+        // Upper levels consult the PWC; the final pte_t never does.
+        bool from_pwc = false;
+        if (level >= LevelPmd && pwc_.lookup(level, entry_paddr)) {
+            result.cycles += pwc_.accessCycles();
+            ++pwc_steps;
+            from_pwc = true;
+        } else {
+            const auto mem = hierarchy_.access(core_id_, entry_paddr,
+                                               AccessType::Read,
+                                               now + result.cycles,
+                                               /*start_at_l2=*/true);
+            result.cycles += mem.latency;
+            leaf_fetch_cycles = mem.latency;
+            ++mem_steps;
+            if (level >= LevelPmd)
+                pwc_.fill(level, entry_paddr);
+            else
+                (void)from_pwc;
+        }
+
+        if (!entry.present()) {
+            result.status = WalkStatus::NotPresent;
+            walk_cycles += result.cycles;
+            return result;
+        }
+
+        const bool is_leaf = level == LevelPte || entry.huge();
+        if (!is_leaf) {
+            // Remember the O-PC bits of the entry that will point at the
+            // leaf table (paper: bits 10 and 9 of pmd_t).
+            upper_owned = entry.owned();
+            upper_orpc = entry.orpc();
+            table = kernel_.tableByFrame(entry.frame());
+            bf_assert(table, "walk: dangling table frame");
+            continue;
+        }
+
+        // Leaf reached: permission checks.
+        if (is_write && !entry.writable()) {
+            if (entry.cow()) {
+                result.status = WalkStatus::CowWrite;
+            } else {
+                result.status = WalkStatus::Protection;
+            }
+            walk_cycles += result.cycles;
+            return result;
+        }
+        if (type == AccessType::Ifetch && entry.noExec()) {
+            result.status = WalkStatus::Protection;
+            walk_cycles += result.cycles;
+            return result;
+        }
+
+        // Hardware A/D update.
+        entry.set(bits::accessed);
+        if (is_write)
+            entry.set(bits::dirty);
+
+        const PageSize size = entry.huge()
+                                  ? leafPageSize(level)
+                                  : PageSize::Size4K;
+
+        result.status = WalkStatus::Ok;
+        result.fill.valid = true;
+        result.fill.vpn = canonical_va >> pageShift(size);
+        result.fill.ppn = entry.frame() >>
+                          (pageShift(size) - basePageShift);
+        result.fill.size = size;
+        result.fill.writable = entry.writable();
+        result.fill.no_exec = entry.noExec();
+        result.fill.cow = entry.cow();
+
+        if (babelfish_) {
+            // For a leaf inside a table, O/ORPC come from the pointer
+            // entry above; for a huge leaf they sit on the leaf itself
+            // when it lives in a privately owned table.
+            const bool owned = level == LevelPte
+                                   ? upper_owned
+                                   : (upper_owned || entry.owned());
+            const bool orpc = upper_orpc;
+            result.fill.owned = owned;
+            result.fill.orpc = !owned && orpc;
+            result.fill.pc_bitmask = 0;
+            if (!owned && orpc) {
+                // Fetch the PC bitmask from the MaskPage, in parallel
+                // with the pte_t request.
+                MaskPage *mask = kernel_.maskFor(proc.ccid(),
+                                                 canonical_va);
+                if (mask) {
+                    const unsigned index =
+                        tableIndex(canonical_va, table->level() + 1);
+                    const auto mem = hierarchy_.access(
+                        core_id_, mask->bitmaskPaddr(index),
+                        AccessType::Read, now + result.cycles,
+                        /*start_at_l2=*/true);
+                    // Parallel with the leaf fetch: only the excess
+                    // latency is exposed.
+                    result.cycles += mem.latency > leaf_fetch_cycles
+                                         ? mem.latency - leaf_fetch_cycles
+                                         : 0;
+                    result.fill.pc_bitmask = mask->bitmask(index);
+                    ++mask_fetches;
+                }
+            }
+        }
+
+        walk_cycles += result.cycles;
+        return result;
+    }
+
+    bf_panic("page walk fell through all levels");
+}
+
+void
+PageWalker::resetStats()
+{
+    walks.reset();
+    walk_cycles.reset();
+    mem_steps.reset();
+    pwc_steps.reset();
+    mask_fetches.reset();
+}
+
+} // namespace bf::tlb

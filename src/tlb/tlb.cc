@@ -1,0 +1,216 @@
+#include "tlb/tlb.hh"
+
+#include "common/logging.hh"
+
+namespace bf::tlb
+{
+
+Tlb::Tlb(const TlbParams &params, stats::StatGroup *parent)
+    : params_(params), stat_group_(params.name, parent)
+{
+    if (params_.assoc == 0 || params_.assoc >= params_.entries)
+        params_.assoc = params_.entries; // fully associative
+    bf_assert(params_.entries % params_.assoc == 0,
+              "TLB ", params_.name, ": entries not divisible by assoc");
+    num_sets_ = params_.entries / params_.assoc;
+    entries_.resize(params_.entries);
+
+    stat_group_.addStat("hits", &hits);
+    stat_group_.addStat("misses", &misses);
+    stat_group_.addStat("shared_hits", &shared_hits);
+    stat_group_.addStat("bitmask_checks", &bitmask_checks);
+    stat_group_.addStat("fills", &fills);
+    stat_group_.addStat("invalidations", &invalidations);
+}
+
+TlbLookup
+Tlb::lookupConventional(Vpn vpn, Pcid pcid)
+{
+    TlbLookup result;
+    TlbEntry *base = setBase(vpn);
+    for (unsigned way = 0; way < params_.assoc; ++way) {
+        TlbEntry &entry = base[way];
+        if (entry.valid && entry.vpn == vpn && entry.pcid == pcid) {
+            entry.lru = ++lru_clock_;
+            result.entry = &entry;
+            result.shared_hit = entry.fill_pcid != pcid;
+            ++hits;
+            if (result.shared_hit)
+                ++shared_hits;
+            return result;
+        }
+    }
+    ++misses;
+    return result;
+}
+
+TlbLookup
+Tlb::lookupBabelFish(Vpn vpn, Ccid ccid, Pcid pcid, int process_bit)
+{
+    TlbLookup result;
+    TlbEntry *base = setBase(vpn);
+    TlbEntry *match = nullptr;
+
+    for (unsigned way = 0; way < params_.assoc; ++way) {
+        TlbEntry &entry = base[way];
+        if (!entry.valid || entry.vpn != vpn || entry.ccid != ccid)
+            continue;                                   // step 1 of Fig. 8
+        if (entry.owned) {
+            if (entry.pcid == pcid) {                   // step 9
+                match = &entry;
+                break;                                  // owned hit wins
+            }
+            continue;                                   // step 10 (miss)
+        }
+        // Shared entry. The ORPC bit short-circuits the bitmask check
+        // (Fig. 5(b)): only when it is set do we pay the long access.
+        if (entry.orpc) {
+            result.bitmask_checked = true;
+            if (process_bit >= 0 &&
+                (entry.pc_bitmask >> process_bit) & 1u) {
+                // The process has its own private copy of this page; the
+                // shared translation is not for it (step 3 -> miss).
+                continue;
+            }
+        }
+        match = &entry;                                 // step 4 (hit)
+        // Keep scanning: an owned entry for this PCID takes precedence
+        // (the process may have both after privatizing).
+    }
+
+    if (result.bitmask_checked)
+        ++bitmask_checks;
+
+    if (match) {
+        match->lru = ++lru_clock_;
+        result.entry = match;
+        result.shared_hit = match->fill_pcid != pcid;
+        ++hits;
+        if (result.shared_hit)
+            ++shared_hits;
+        return result;
+    }
+    ++misses;
+    return result;
+}
+
+void
+Tlb::fill(const TlbEntry &new_entry, bool shared_dedup)
+{
+    bf_assert(new_entry.size == params_.page_size,
+              "TLB ", params_.name, ": wrong page size fill");
+    TlbEntry *base = setBase(new_entry.vpn);
+
+    // Replace an existing entry with the same tags if present (never
+    // duplicate a translation), else an invalid way, else LRU.
+    const bool dedup_shared = shared_dedup && !new_entry.owned;
+    TlbEntry *victim = nullptr;
+    for (unsigned way = 0; way < params_.assoc; ++way) {
+        TlbEntry &entry = base[way];
+        const bool same_identity =
+            entry.valid && entry.vpn == new_entry.vpn &&
+            entry.ccid == new_entry.ccid &&
+            entry.owned == new_entry.owned &&
+            (dedup_shared || entry.pcid == new_entry.pcid);
+        if (same_identity) {
+            victim = &entry;
+            break;
+        }
+    }
+    if (!victim) {
+        victim = &base[0];
+        for (unsigned way = 0; way < params_.assoc; ++way) {
+            TlbEntry &entry = base[way];
+            if (!entry.valid) {
+                victim = &entry;
+                break;
+            }
+            if (entry.lru < victim->lru)
+                victim = &entry;
+        }
+    }
+    *victim = new_entry;
+    victim->valid = true;
+    victim->lru = ++lru_clock_;
+    ++fills;
+}
+
+void
+Tlb::invalidatePage(Pcid pcid, Vpn vpn)
+{
+    TlbEntry *base = setBase(vpn);
+    for (unsigned way = 0; way < params_.assoc; ++way) {
+        TlbEntry &entry = base[way];
+        if (entry.valid && entry.vpn == vpn && entry.pcid == pcid) {
+            entry.valid = false;
+            ++invalidations;
+        }
+    }
+}
+
+void
+Tlb::invalidateSharedRange(Ccid ccid, Vpn first, std::uint64_t count)
+{
+    // Range shootdowns scan the whole structure: TLBs are small.
+    for (auto &entry : entries_) {
+        if (entry.valid && !entry.owned && entry.ccid == ccid &&
+            entry.vpn >= first && entry.vpn < first + count) {
+            entry.valid = false;
+            ++invalidations;
+        }
+    }
+}
+
+void
+Tlb::invalidatePcid(Pcid pcid)
+{
+    for (auto &entry : entries_) {
+        if (entry.valid && entry.pcid == pcid) {
+            entry.valid = false;
+            ++invalidations;
+        }
+    }
+}
+
+void
+Tlb::invalidateAll()
+{
+    for (auto &entry : entries_)
+        entry.valid = false;
+}
+
+const TlbEntry *
+Tlb::probe(Vpn vpn, Pcid pcid) const
+{
+    const unsigned set = vpn % num_sets_;
+    const TlbEntry *base = &entries_[set * params_.assoc];
+    for (unsigned way = 0; way < params_.assoc; ++way) {
+        if (base[way].valid && base[way].vpn == vpn &&
+            base[way].pcid == pcid)
+            return &base[way];
+    }
+    return nullptr;
+}
+
+unsigned
+Tlb::validCount() const
+{
+    unsigned count = 0;
+    for (const auto &entry : entries_)
+        if (entry.valid)
+            ++count;
+    return count;
+}
+
+void
+Tlb::resetStats()
+{
+    hits.reset();
+    misses.reset();
+    shared_hits.reset();
+    bitmask_checks.reset();
+    fills.reset();
+    invalidations.reset();
+}
+
+} // namespace bf::tlb

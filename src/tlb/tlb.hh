@@ -1,0 +1,138 @@
+/**
+ * @file
+ * A set-associative TLB for one page size, supporting both the
+ * conventional lookup (VPN + PCID, paper Fig. 1) and the BabelFish lookup
+ * of paper Fig. 8 (VPN + CCID with the O-PC checks).
+ */
+
+#ifndef BF_TLB_TLB_HH
+#define BF_TLB_TLB_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "tlb/tlb_entry.hh"
+
+namespace bf::tlb
+{
+
+/** Geometry of one TLB structure. */
+struct TlbParams
+{
+    std::string name = "tlb";
+    unsigned entries = 64;
+    unsigned assoc = 4;      //!< 0 or >= entries => fully associative.
+    PageSize page_size = PageSize::Size4K;
+    Cycles access_cycles = 1;
+    /**
+     * Extra cycles when the PC bitmask must be consulted on a lookup
+     * (the 12- vs 10-cycle L2 TLB access times of Table I).
+     */
+    Cycles bitmask_extra_cycles = 2;
+};
+
+/** Result of a TLB lookup. */
+struct TlbLookup
+{
+    const TlbEntry *entry = nullptr; //!< nullptr on miss.
+    bool hit() const { return entry != nullptr; }
+    /** The PC bitmask was consulted (charges the long access time). */
+    bool bitmask_checked = false;
+    /**
+     * Hit on an entry filled by a different process — the paper's
+     * "Shared Hit" metric (Fig. 10b).
+     */
+    bool shared_hit = false;
+};
+
+/** One set-associative TLB structure. */
+class Tlb
+{
+  public:
+    /**
+     * @param params geometry.
+     * @param parent stat group to register under, may be null.
+     */
+    explicit Tlb(const TlbParams &params,
+                 stats::StatGroup *parent = nullptr);
+
+    /**
+     * Conventional lookup: VPN and PCID must match (paper §II-B).
+     * Updates LRU and hit/miss statistics.
+     */
+    TlbLookup lookupConventional(Vpn vpn, Pcid pcid);
+
+    /**
+     * BabelFish lookup (paper Fig. 8). All ways with a matching VPN and
+     * CCID are candidates:
+     *  - Ownership set: usable only on a PCID match.
+     *  - Ownership clear: usable unless ORPC is set and the requesting
+     *    process' bit in the PC bitmask is set (it privatized the page's
+     *    region and must use its own owned entry instead).
+     *
+     * @param process_bit the bit index the process owns in the region's
+     *        PC bitmask, or -1 when it never privatized there.
+     */
+    TlbLookup lookupBabelFish(Vpn vpn, Ccid ccid, Pcid pcid,
+                              int process_bit);
+
+    /**
+     * Insert a translation, evicting LRU within the set.
+     *
+     * @param shared_dedup BabelFish semantics for shared (Ownership-
+     *        clear) entries: one entry per {VPN, CCID} regardless of the
+     *        filling PCID, so refills by different group members coalesce
+     *        instead of replicating. Conventional fills keep per-PCID
+     *        entries.
+     */
+    void fill(const TlbEntry &entry, bool shared_dedup = false);
+
+    /** @{ @name Invalidation */
+    /** Drop the (pcid, vpn) entry if present. */
+    void invalidatePage(Pcid pcid, Vpn vpn);
+    /** Drop shared (Ownership-clear) entries of a CCID in a VPN range. */
+    void invalidateSharedRange(Ccid ccid, Vpn first, std::uint64_t count);
+    /** Drop every entry of a PCID. */
+    void invalidatePcid(Pcid pcid);
+    /** Drop everything. */
+    void invalidateAll();
+    /** @} */
+
+    /** Probe without stats/LRU side effects (tests). */
+    const TlbEntry *probe(Vpn vpn, Pcid pcid) const;
+
+    /** Number of valid entries. */
+    unsigned validCount() const;
+
+    const TlbParams &params() const { return params_; }
+
+    /** @{ @name Statistics */
+    stats::Scalar hits;
+    stats::Scalar misses;
+    stats::Scalar shared_hits;      //!< Hits on entries filled by others.
+    stats::Scalar bitmask_checks;   //!< Lookups paying the long access.
+    stats::Scalar fills;
+    stats::Scalar invalidations;
+    /** @} */
+
+    void resetStats();
+
+  private:
+    TlbParams params_;
+    unsigned num_sets_;
+    std::vector<TlbEntry> entries_; //!< set-major.
+    std::uint64_t lru_clock_ = 0;
+
+    stats::StatGroup stat_group_;
+
+    unsigned setIndex(Vpn vpn) const { return vpn % num_sets_; }
+    TlbEntry *setBase(Vpn vpn) { return &entries_[setIndex(vpn) *
+                                                  params_.assoc]; }
+};
+
+} // namespace bf::tlb
+
+#endif // BF_TLB_TLB_HH

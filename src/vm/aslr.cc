@@ -1,0 +1,72 @@
+#include "vm/aslr.hh"
+
+#include "common/logging.hh"
+
+namespace bf::vm
+{
+
+namespace
+{
+
+/**
+ * Canonical segment map. Each segment owns a large, disjoint slice of the
+ * 48-bit address space; randomized offsets move mappings within the slice.
+ */
+struct SegmentRange
+{
+    Addr base;
+    std::uint64_t span;
+};
+
+constexpr SegmentRange segmentRanges[numSegments] = {
+    { 0x0000'0040'0000ull, 0x0000'4000'0000ull },  // Code
+    { 0x0000'8000'0000ull, 0x0000'4000'0000ull },  // Data
+    { 0x0001'0000'0000ull, 0x0010'0000'0000ull },  // Heap
+    { 0x7ffd'0000'0000ull, 0x0002'0000'0000ull },  // Stack
+    { 0x7f00'0000'0000ull, 0x0080'0000'0000ull },  // Mmap
+    { 0x7fff'f000'0000ull, 0x0000'1000'0000ull },  // Vdso
+    { 0x7e00'0000'0000ull, 0x0100'0000'0000ull },  // Shm
+};
+
+} // namespace
+
+Addr
+segmentBase(Segment seg)
+{
+    return segmentRanges[static_cast<unsigned>(seg)].base;
+}
+
+std::uint64_t
+segmentSpan(Segment seg)
+{
+    return segmentRanges[static_cast<unsigned>(seg)].span;
+}
+
+Segment
+segmentOf(Addr va)
+{
+    for (unsigned s = 0; s < numSegments; ++s) {
+        const auto &range = segmentRanges[s];
+        if (va >= range.base && va < range.base + range.span)
+            return static_cast<Segment>(s);
+    }
+    // Unmapped slices classify as Heap so the transform is total; faults
+    // on genuinely unmapped addresses are caught by the VMA lookup.
+    return Segment::Heap;
+}
+
+AslrOffsets
+AslrOffsets::randomize(std::uint64_t seed)
+{
+    Rng rng(seed);
+    AslrOffsets offsets;
+    for (unsigned s = 0; s < numSegments; ++s) {
+        const std::uint64_t quarter = segmentRanges[s].span / 4;
+        const std::uint64_t pages = quarter / basePageBytes;
+        offsets.offset[s] =
+            static_cast<std::int64_t>(rng.below(pages) * basePageBytes);
+    }
+    return offsets;
+}
+
+} // namespace bf::vm

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * x86-64 page-table entry layout and address decomposition.
+ *
+ * Entries follow the hardware layout: present/writable/user/accessed/dirty
+ * at their architectural positions, PS (huge) at bit 7, and the physical
+ * frame number in bits 12..51. BabelFish claims the currently-unused bits
+ * 9 and 10 of pmd_t for ORPC and O respectively (paper Fig. 5(a)). We add
+ * one software bit (bit 11, ignored by hardware) to mark Copy-on-Write
+ * translations, as Linux does with its software bits.
+ */
+
+#ifndef BF_VM_PAGING_HH
+#define BF_VM_PAGING_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace bf::vm
+{
+
+/** Page-table levels, numbered as in the x86-64 walk. */
+enum PageLevel : int
+{
+    LevelPte = 1, //!< Page Table; entries map 4 KB pages.
+    LevelPmd = 2, //!< Page Middle Directory; leaf entries map 2 MB pages.
+    LevelPud = 3, //!< Page Upper Directory; leaf entries map 1 GB pages.
+    LevelPgd = 4, //!< Page Global Directory (root, CR3 points here).
+};
+
+/** Entries per table page (512 in x86-64). */
+inline constexpr unsigned entriesPerTable = 512;
+
+/** Bytes of one page-table entry. */
+inline constexpr unsigned bytesPerEntry = 8;
+
+/** Architectural bit positions. */
+namespace bits
+{
+inline constexpr std::uint64_t present = 1ull << 0;
+inline constexpr std::uint64_t writable = 1ull << 1;
+inline constexpr std::uint64_t user = 1ull << 2;
+inline constexpr std::uint64_t accessed = 1ull << 5;
+inline constexpr std::uint64_t dirty = 1ull << 6;
+inline constexpr std::uint64_t huge = 1ull << 7;   //!< PS bit.
+inline constexpr std::uint64_t orpc = 1ull << 9;   //!< BabelFish OR-of-PC.
+inline constexpr std::uint64_t owned = 1ull << 10; //!< BabelFish Ownership.
+inline constexpr std::uint64_t cow = 1ull << 11;   //!< Software CoW mark.
+inline constexpr std::uint64_t nx = 1ull << 63;    //!< No-execute.
+inline constexpr std::uint64_t frame_mask = 0x000f'ffff'ffff'f000ull;
+} // namespace bits
+
+/** One 64-bit page-table entry at any level. */
+struct Entry
+{
+    std::uint64_t raw = 0;
+
+    bool present() const { return raw & bits::present; }
+    bool writable() const { return raw & bits::writable; }
+    bool user() const { return raw & bits::user; }
+    bool accessed() const { return raw & bits::accessed; }
+    bool dirty() const { return raw & bits::dirty; }
+    bool huge() const { return raw & bits::huge; }
+    bool orpc() const { return raw & bits::orpc; }
+    bool owned() const { return raw & bits::owned; }
+    bool cow() const { return raw & bits::cow; }
+    bool noExec() const { return raw & bits::nx; }
+
+    /** Physical frame number held in bits 12..51. */
+    Ppn
+    frame() const
+    {
+        return (raw & bits::frame_mask) >> basePageShift;
+    }
+
+    void
+    setFrame(Ppn ppn)
+    {
+        raw = (raw & ~bits::frame_mask) |
+              ((ppn << basePageShift) & bits::frame_mask);
+    }
+
+    void set(std::uint64_t bit, bool value = true)
+    {
+        if (value)
+            raw |= bit;
+        else
+            raw &= ~bit;
+    }
+
+    void clear() { raw = 0; }
+
+    /**
+     * Permission signature used when deciding whether two translations are
+     * identical (shareable): W, U, NX and CoW must all match.
+     */
+    std::uint64_t
+    permBits() const
+    {
+        return raw & (bits::writable | bits::user | bits::nx | bits::cow);
+    }
+};
+
+static_assert(sizeof(Entry) == bytesPerEntry);
+
+/** Index into the table at a given level for a virtual address. */
+constexpr unsigned
+tableIndex(Addr va, int level)
+{
+    const int shift = basePageShift + 9 * (level - 1);
+    return static_cast<unsigned>((va >> shift) & 0x1ff);
+}
+
+/** Bytes of address space mapped by ONE ENTRY at a level. */
+constexpr std::uint64_t
+entrySpan(int level)
+{
+    return std::uint64_t{1} << (basePageShift + 9 * (level - 1));
+}
+
+/** Bytes of address space mapped by a WHOLE TABLE at a level. */
+constexpr std::uint64_t
+tableSpan(int level)
+{
+    return entrySpan(level) * entriesPerTable;
+}
+
+/** First VA covered by the table containing va at a level. */
+constexpr Addr
+tableBase(Addr va, int level)
+{
+    return va & ~(tableSpan(level) - 1);
+}
+
+/** First VA covered by the entry containing va at a level. */
+constexpr Addr
+entryBase(Addr va, int level)
+{
+    return va & ~(entrySpan(level) - 1);
+}
+
+/** Page size mapped by a leaf entry at a level. */
+constexpr PageSize
+leafPageSize(int level)
+{
+    switch (level) {
+      case LevelPte: return PageSize::Size4K;
+      case LevelPmd: return PageSize::Size2M;
+      case LevelPud: return PageSize::Size1G;
+    }
+    return PageSize::Size4K;
+}
+
+} // namespace bf::vm
+
+#endif // BF_VM_PAGING_HH

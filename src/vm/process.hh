@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The process abstraction: address space root, VMAs, identifiers.
+ *
+ * Containers use the process abstraction for isolation (paper §II-A); one
+ * container is modeled as one process, as Docker best practice prescribes.
+ */
+
+#ifndef BF_VM_PROCESS_HH
+#define BF_VM_PROCESS_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "vm/aslr.hh"
+#include "vm/vma.hh"
+
+namespace bf::vm
+{
+
+class PageTablePage;
+
+/** One simulated process / container instance. */
+class Process
+{
+  public:
+    Process(Pid pid, Pcid pcid, Ccid ccid, std::string name,
+            PageTablePage *pgd)
+        : pid_(pid), pcid_(pcid), ccid_(ccid), name_(std::move(name)),
+          pgd_(pgd)
+    {}
+
+    Pid pid() const { return pid_; }
+    Pcid pcid() const { return pcid_; }
+    Ccid ccid() const { return ccid_; }
+    const std::string &name() const { return name_; }
+    PageTablePage *pgd() const { return pgd_; }
+    bool alive() const { return alive_; }
+    void markDead() { alive_ = false; }
+
+    /** VMA containing a canonical VA, or nullptr. */
+    Vma *
+    findVma(Addr va)
+    {
+        for (auto &vma : vmas_) {
+            if (vma.contains(va))
+                return &vma;
+        }
+        return nullptr;
+    }
+
+    const Vma *
+    findVma(Addr va) const
+    {
+        return const_cast<Process *>(this)->findVma(va);
+    }
+
+    /** Append a mapping; ranges must not overlap. */
+    void
+    addVma(const Vma &vma)
+    {
+        for (const auto &existing : vmas_) {
+            bf_assert(vma.end <= existing.start ||
+                          vma.start >= existing.end,
+                      "overlapping mmap at ", vma.start, " in ", name_);
+        }
+        vmas_.push_back(vma);
+    }
+
+    std::vector<Vma> &vmas() { return vmas_; }
+    const std::vector<Vma> &vmas() const { return vmas_; }
+
+    /** Remove the VMA starting at @p start; false if absent. */
+    bool
+    removeVma(Addr start)
+    {
+        for (auto it = vmas_.begin(); it != vmas_.end(); ++it) {
+            if (it->start == start) {
+                vmas_.erase(it);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /**
+     * @{
+     * @name BabelFish PC-bitmask bit assignment
+     * Bit index this process owns in the MaskPage covering a region
+     * (assigned at the first CoW there), keyed by mask-region base VA.
+     */
+    int
+    bitIn(Addr mask_region) const
+    {
+        auto it = mask_bits_.find(mask_region);
+        return it == mask_bits_.end() ? -1 : it->second;
+    }
+
+    void setBitIn(Addr mask_region, int bit) { mask_bits_[mask_region] = bit; }
+    /** @} */
+
+    /** @{ @name ASLR state */
+    AslrOffsets aslr_offsets{};
+    AslrTransform aslr_transform{};
+    /** @} */
+
+  private:
+    Pid pid_;
+    Pcid pcid_;
+    Ccid ccid_;
+    std::string name_;
+    PageTablePage *pgd_;
+    bool alive_ = true;
+    std::vector<Vma> vmas_;
+    std::map<Addr, int> mask_bits_;
+};
+
+} // namespace bf::vm
+
+#endif // BF_VM_PROCESS_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Kernel-to-TLB shootdown interface.
+ *
+ * The kernel publishes TLB invalidations (CoW privatization, unmap,
+ * process exit) to the MMUs through a callback, keeping src/vm free of a
+ * dependency on src/tlb.
+ */
+
+#ifndef BF_VM_TLB_HOOKS_HH
+#define BF_VM_TLB_HOOKS_HH
+
+#include <functional>
+
+#include "common/types.hh"
+
+namespace bf::vm
+{
+
+/** One TLB invalidation request, broadcast to every core. */
+struct TlbInvalidate
+{
+    enum class Kind : std::uint8_t
+    {
+        /** Drop the (pcid, vpn) entry — conventional single-page flush. */
+        Page,
+        /**
+         * Drop only shared (Ownership-clear) entries of a CCID group for
+         * a VPN range — the single-entry shootdown of paper §III-A and
+         * the region shootdown of the >32-writer fallback.
+         */
+        SharedRange,
+        /** Drop every entry of a PCID (process exit). */
+        Pcid,
+    };
+
+    Kind kind = Kind::Page;
+    Ccid ccid = invalidCcid;
+    Pcid pcid = 0;
+    Vpn vpn = 0;                        //!< First canonical (group) VPN.
+    std::uint64_t num_pages = 1;        //!< Length of the VPN range.
+    PageSize size = PageSize::Size4K;
+};
+
+/** Callback the MMUs register with the kernel. */
+using TlbInvalidateFn = std::function<void(const TlbInvalidate &)>;
+
+} // namespace bf::vm
+
+#endif // BF_VM_TLB_HOOKS_HH

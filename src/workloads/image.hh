@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Docker-image model.
+ *
+ * A container image contributes four kinds of file-backed mappings, all
+ * of which create cross-container translation replication in the
+ * baseline (paper §II-C): the container runtime + base-layer libraries
+ * (shared by every container on the host), the application middleware,
+ * the application binary, and writable configuration (mapped private, so
+ * written pages CoW).
+ */
+
+#ifndef BF_WORKLOADS_IMAGE_HH
+#define BF_WORKLOADS_IMAGE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "vm/aslr.hh"
+#include "vm/kernel.hh"
+#include "vm/object.hh"
+
+namespace bf::workloads
+{
+
+/** Sizes of the image layers. */
+struct ImageParams
+{
+    std::uint64_t runtime_lib_bytes = 24ull << 20; //!< libc, runtime, ld.
+    std::uint64_t middleware_bytes = 16ull << 20;  //!< app libraries.
+    std::uint64_t binary_bytes = 6ull << 20;       //!< app executable.
+    std::uint64_t config_bytes = 2ull << 20;       //!< writable config.
+};
+
+/** One container image: the file objects plus their canonical layout. */
+class ContainerImage
+{
+  public:
+    /**
+     * Create the image's file objects in the page cache.
+     * @param warm preload the pages (image layers already pulled).
+     */
+    ContainerImage(vm::Kernel &kernel, const std::string &name,
+                   const ImageParams &params, bool warm = true)
+        : params_(params)
+    {
+        runtime_libs_ =
+            kernel.createFile(name + ":runtime", params.runtime_lib_bytes);
+        middleware_ =
+            kernel.createFile(name + ":middleware",
+                              params.middleware_bytes);
+        binary_ = kernel.createFile(name + ":binary", params.binary_bytes);
+        config_ = kernel.createFile(name + ":config", params.config_bytes);
+        if (warm) {
+            runtime_libs_->preload(kernel.frames());
+            middleware_->preload(kernel.frames());
+            binary_->preload(kernel.frames());
+            config_->preload(kernel.frames());
+        }
+    }
+
+    /**
+     * Map the image into a process at its canonical addresses: binary in
+     * the Code segment, libraries in the Mmap segment, config privately
+     * writable in the Data segment.
+     */
+    void
+    mapInto(vm::Kernel &kernel, vm::Process &proc) const
+    {
+        kernel.mmapObject(proc, binary_, binaryBase(),
+                          params_.binary_bytes, 0,
+                          /*writable=*/false, /*exec=*/true,
+                          /*shared=*/false);
+        kernel.mmapObject(proc, runtime_libs_, runtimeLibBase(),
+                          params_.runtime_lib_bytes, 0, false, true,
+                          false);
+        kernel.mmapObject(proc, middleware_, middlewareBase(),
+                          params_.middleware_bytes, 0, false, true, false);
+        kernel.mmapObject(proc, config_, configBase(),
+                          params_.config_bytes, 0, /*writable=*/true,
+                          /*exec=*/false, /*shared=*/false);
+    }
+
+    /** @{ @name Canonical layout */
+    Addr binaryBase() const { return vm::segmentBase(vm::Segment::Code); }
+    Addr runtimeLibBase() const
+    {
+        return vm::segmentBase(vm::Segment::Mmap);
+    }
+    Addr middlewareBase() const
+    {
+        return vm::segmentBase(vm::Segment::Mmap) + (1ull << 32);
+    }
+    Addr configBase() const { return vm::segmentBase(vm::Segment::Data); }
+    /** @} */
+
+    vm::MappedObject *runtimeLibs() const { return runtime_libs_; }
+    vm::MappedObject *middleware() const { return middleware_; }
+    vm::MappedObject *binary() const { return binary_; }
+    vm::MappedObject *config() const { return config_; }
+    const ImageParams &params() const { return params_; }
+
+  private:
+    ImageParams params_;
+    vm::MappedObject *runtime_libs_;
+    vm::MappedObject *middleware_;
+    vm::MappedObject *binary_;
+    vm::MappedObject *config_;
+};
+
+} // namespace bf::workloads
+
+#endif // BF_WORKLOADS_IMAGE_HH

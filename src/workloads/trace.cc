@@ -1,0 +1,52 @@
+#include "workloads/trace.hh"
+
+#include <sstream>
+
+namespace bf::workloads
+{
+
+std::vector<core::MemRef>
+parseTrace(std::istream &input)
+{
+    std::vector<core::MemRef> trace;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(input, line)) {
+        ++line_no;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream fields(line);
+        std::string kind;
+        if (!(fields >> kind))
+            continue; // blank / comment-only line
+
+        core::MemRef ref;
+        if (kind == "R" || kind == "r") {
+            ref.type = AccessType::Read;
+        } else if (kind == "W" || kind == "w") {
+            ref.type = AccessType::Write;
+        } else if (kind == "I" || kind == "i") {
+            ref.type = AccessType::Ifetch;
+        } else {
+            bf_fatal("trace line ", line_no, ": unknown access kind '",
+                     kind, "'");
+        }
+
+        std::string va_text;
+        if (!(fields >> va_text))
+            bf_fatal("trace line ", line_no, ": missing address");
+        ref.va = std::stoull(va_text, nullptr, 0); // 0x... or decimal
+
+        std::uint64_t instrs = 1;
+        if (fields >> instrs) {
+            if (instrs == 0 || instrs > 0xffffffffull)
+                bf_fatal("trace line ", line_no, ": bad instr count");
+        }
+        ref.instrs = static_cast<std::uint32_t>(instrs);
+        trace.push_back(ref);
+    }
+    return trace;
+}
+
+} // namespace bf::workloads

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * A Yahoo Cloud Serving Benchmark-style request generator.
+ *
+ * The paper drives its Data Serving applications with YCSB over a 500 MB
+ * dataset. We reproduce the load shape: zipfian record popularity (the
+ * YCSB default, theta = 0.99), a read-mostly operation mix, and one
+ * client per container so each container serves different requests over
+ * partially overlapping data.
+ */
+
+#ifndef BF_WORKLOADS_YCSB_HH
+#define BF_WORKLOADS_YCSB_HH
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace bf::workloads
+{
+
+/**
+ * Zipfian integer generator over [0, n) using the Gray et al.\ method —
+ * the same algorithm the YCSB core uses.
+ */
+class ZipfianGenerator
+{
+  public:
+    /**
+     * @param n number of items.
+     * @param theta skew (YCSB default 0.99).
+     */
+    ZipfianGenerator(std::uint64_t n, double theta = 0.99)
+        : n_(n), theta_(theta)
+    {
+        bf_assert(n > 0, "zipfian over empty set");
+        zetan_ = zeta(n_, theta_);
+        zeta2_ = zeta(2, theta_);
+        alpha_ = 1.0 / (1.0 - theta_);
+        eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_),
+                               1.0 - theta_)) /
+               (1.0 - zeta2_ / zetan_);
+    }
+
+    /** Draw the next item (0 is the most popular). */
+    std::uint64_t
+    next(Rng &rng)
+    {
+        const double u = rng.uniform();
+        const double uz = u * zetan_;
+        if (uz < 1.0)
+            return 0;
+        if (uz < 1.0 + std::pow(0.5, theta_))
+            return 1;
+        const auto idx = static_cast<std::uint64_t>(
+            static_cast<double>(n_) *
+            std::pow(eta_ * u - eta_ + 1.0, alpha_));
+        return idx >= n_ ? n_ - 1 : idx;
+    }
+
+    std::uint64_t items() const { return n_; }
+
+  private:
+    static double
+    zeta(std::uint64_t n, double theta)
+    {
+        // For large n use the integral approximation; exact for small n.
+        if (n <= 10000) {
+            double sum = 0;
+            for (std::uint64_t i = 1; i <= n; ++i)
+                sum += 1.0 / std::pow(static_cast<double>(i), theta);
+            return sum;
+        }
+        double sum = 0;
+        for (std::uint64_t i = 1; i <= 10000; ++i)
+            sum += 1.0 / std::pow(static_cast<double>(i), theta);
+        // Integral of x^-theta from 10000 to n.
+        sum += (std::pow(static_cast<double>(n), 1.0 - theta) -
+                std::pow(10000.0, 1.0 - theta)) /
+               (1.0 - theta);
+        return sum;
+    }
+
+    std::uint64_t n_;
+    double theta_;
+    double zetan_;
+    double zeta2_;
+    double alpha_;
+    double eta_;
+};
+
+/** YCSB operation kinds (we use the read-mostly workload B mix). */
+struct YcsbOp
+{
+    std::uint64_t record = 0;
+    bool is_update = false;
+};
+
+/** One YCSB client driving one container. */
+class YcsbClient
+{
+  public:
+    /**
+     * @param records number of records in the dataset.
+     * @param update_fraction fraction of update ops (YCSB-B: 0.05).
+     * @param seed per-client seed so each container serves a distinct
+     *        request stream (paper §VI).
+     */
+    YcsbClient(std::uint64_t records, double update_fraction,
+               std::uint64_t seed, double theta = 0.99)
+        : rng_(seed), zipf_(records, theta),
+          update_fraction_(update_fraction)
+    {}
+
+    /** Draw the next operation. */
+    YcsbOp
+    next()
+    {
+        YcsbOp op;
+        op.record = zipf_.next(rng_);
+        op.is_update = rng_.chance(update_fraction_);
+        return op;
+    }
+
+    Rng &rng() { return rng_; }
+
+  private:
+    Rng rng_;
+    ZipfianGenerator zipf_;
+    double update_fraction_;
+};
+
+} // namespace bf::workloads
+
+#endif // BF_WORKLOADS_YCSB_HH

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Tests for the analysis module: CactiLite calibration (Table III) and
+ * the Pagemap shareability scanner (Fig. 9).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/cacti_lite.hh"
+#include "analysis/pagemap.hh"
+#include "vm/kernel.hh"
+
+using namespace bf;
+using namespace bf::analysis;
+
+// ---------------------------------------------------------------------
+// CactiLite
+// ---------------------------------------------------------------------
+
+TEST(Cacti, BaselineCalibrationExact)
+{
+    CactiLite cacti;
+    const auto costs = cacti.evaluate(CactiLite::baselineL2Tlb());
+    EXPECT_NEAR(costs.area_mm2, 0.030, 1e-9);
+    EXPECT_NEAR(costs.access_ps, 327.0, 1e-6);
+    EXPECT_NEAR(costs.dyn_energy_pj, 10.22, 1e-6);
+    EXPECT_NEAR(costs.leakage_mw, 4.16, 1e-6);
+}
+
+TEST(Cacti, BabelFishCostsInPaperBallpark)
+{
+    // Paper Table III: 0.062 mm^2, 456 ps, 21.97 pJ, 6.22 mW. Our
+    // analytical stand-in must land within ~25% on every metric.
+    CactiLite cacti;
+    const auto costs = cacti.evaluate(CactiLite::babelFishL2Tlb());
+    EXPECT_NEAR(costs.area_mm2, 0.062, 0.062 * 0.25);
+    EXPECT_NEAR(costs.access_ps, 456.0, 456 * 0.25);
+    EXPECT_NEAR(costs.dyn_energy_pj, 21.97, 21.97 * 0.25);
+    EXPECT_NEAR(costs.leakage_mw, 6.22, 6.22 * 0.25);
+}
+
+TEST(Cacti, BabelFishStrictlyCostsMore)
+{
+    CactiLite cacti;
+    const auto base = cacti.evaluate(CactiLite::baselineL2Tlb());
+    const auto fish = cacti.evaluate(CactiLite::babelFishL2Tlb());
+    EXPECT_GT(fish.area_mm2, base.area_mm2);
+    EXPECT_GT(fish.access_ps, base.access_ps);
+    EXPECT_GT(fish.dyn_energy_pj, base.dyn_energy_pj);
+    EXPECT_GT(fish.leakage_mw, base.leakage_mw);
+    // The paper adds 2 extra cycles when the bitmask is read; the raw
+    // array access stays within one 2 GHz cycle (500 ps).
+    EXPECT_LT(fish.access_ps, 500.0);
+}
+
+TEST(Cacti, EntryFieldsMatchTableI)
+{
+    const auto base = CactiLite::baselineL2Tlb();
+    const auto fish = CactiLite::babelFishL2Tlb();
+    // PC bitmask 32 bits, PCID 12, CCID 12 (Table I).
+    EXPECT_EQ(fish.tag_bits - base.tag_bits, 12u + 1u + 1u + 32u);
+    EXPECT_EQ(base.entries, 1536u);
+    EXPECT_EQ(base.assoc, 12u);
+}
+
+TEST(Cacti, EqualAreaConventionalTlbIsLarger)
+{
+    CactiLite cacti;
+    const auto entries = cacti.equalAreaConventionalEntries();
+    EXPECT_GT(entries, 1536u);
+    EXPECT_LT(entries, 6 * 1536u);
+    EXPECT_EQ(entries % 12, 0u);
+}
+
+TEST(CactiDeath, UncalibratedNode)
+{
+    EXPECT_DEATH(CactiLite cacti(7), "22 nm");
+}
+
+// ---------------------------------------------------------------------
+// Pagemap
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+constexpr Addr kVa = 0x7f00'0000'0000ull;
+
+vm::KernelParams
+kparams()
+{
+    vm::KernelParams p;
+    p.babelfish = false; // Fig. 9 scans the baseline state
+    p.aslr = vm::AslrMode::Sw;
+    p.mem_frames = 1 << 22;
+    return p;
+}
+
+} // namespace
+
+TEST(Pagemap, ClassifiesSharedAndPrivate)
+{
+    vm::Kernel kernel(kparams());
+    const Ccid g = kernel.createGroup("g", 1);
+    auto *a = kernel.createProcess(g, "a");
+    auto *b = kernel.createProcess(g, "b");
+    auto *file = kernel.createFile("f", 1 << 20);
+    file->preload(kernel.frames());
+    kernel.mmapObject(*a, file, kVa, 1 << 20, 0, false, false, false);
+    kernel.mmapObject(*b, file, kVa, 1 << 20, 0, false, false, false);
+    kernel.mmapAnon(*a, 0x0001'0000'0000ull, 1 << 20, true, false);
+
+    // 4 shared pages in each process + 2 private in a.
+    for (int i = 0; i < 4; ++i) {
+        kernel.handleFault(*a, kVa + i * basePageBytes, AccessType::Read);
+        kernel.handleFault(*b, kVa + i * basePageBytes, AccessType::Read);
+    }
+    kernel.handleFault(*a, 0x0001'0000'0000ull, AccessType::Write);
+    kernel.handleFault(*a, 0x0001'0000'1000ull, AccessType::Write);
+
+    const auto stats = scanGroup(kernel, {a, b});
+    EXPECT_EQ(stats.total, 10u);
+    EXPECT_EQ(stats.total_shareable, 8u);
+    EXPECT_EQ(stats.total_unshareable, 2u);
+    EXPECT_EQ(stats.total_thp, 0u);
+    // All pages are active (just touched); fusing the 4 shared pairs
+    // leaves 4 + 2 = 6.
+    EXPECT_EQ(stats.active, 10u);
+    EXPECT_EQ(stats.babelfish_active, 6u);
+    EXPECT_NEAR(stats.shareableFraction(), 0.8, 1e-9);
+}
+
+TEST(Pagemap, DifferentFramesNotShareable)
+{
+    vm::Kernel kernel(kparams());
+    const Ccid g = kernel.createGroup("g", 1);
+    auto *a = kernel.createProcess(g, "a");
+    auto *b = kernel.createProcess(g, "b");
+    // Same VA, different objects => different PPNs => unshareable.
+    auto *fa = kernel.createFile("fa", 1 << 20);
+    auto *fb = kernel.createFile("fb", 1 << 20);
+    fa->preload(kernel.frames());
+    fb->preload(kernel.frames());
+    kernel.mmapObject(*a, fa, kVa, 1 << 20, 0, false, false, false);
+    kernel.mmapObject(*b, fb, kVa, 1 << 20, 0, false, false, false);
+    kernel.handleFault(*a, kVa, AccessType::Read);
+    kernel.handleFault(*b, kVa, AccessType::Read);
+
+    const auto stats = scanGroup(kernel, {a, b});
+    EXPECT_EQ(stats.total_shareable, 0u);
+    EXPECT_EQ(stats.total_unshareable, 2u);
+}
+
+TEST(Pagemap, DifferentPermsNotShareable)
+{
+    vm::Kernel kernel(kparams());
+    const Ccid g = kernel.createGroup("g", 1);
+    auto *a = kernel.createProcess(g, "a");
+    auto *b = kernel.createProcess(g, "b");
+    auto *f = kernel.createFile("f", 1 << 20);
+    f->preload(kernel.frames());
+    kernel.mmapObject(*a, f, kVa, 1 << 20, 0, false, false, false);
+    kernel.mmapObject(*b, f, kVa, 1 << 20, 0, true, false, true);
+    kernel.handleFault(*a, kVa, AccessType::Read);
+    kernel.handleFault(*b, kVa, AccessType::Read);
+    const auto stats = scanGroup(kernel, {a, b});
+    EXPECT_EQ(stats.total_shareable, 0u);
+}
+
+TEST(Pagemap, ThpCountedSeparately)
+{
+    vm::Kernel kernel(kparams());
+    const Ccid g = kernel.createGroup("g", 1);
+    auto *a = kernel.createProcess(g, "a");
+    kernel.mmapAnon(*a, 0x0001'0000'0000ull, 4ull << 20, true);
+    kernel.handleFault(*a, 0x0001'0000'0000ull, AccessType::Write);
+    const auto stats = scanGroup(kernel, {a});
+    EXPECT_EQ(stats.total_thp, 1u);
+    EXPECT_EQ(stats.total_shareable, 0u);
+    EXPECT_EQ(stats.total_unshareable, 0u);
+}
+
+TEST(Pagemap, ActivityFollowsAccessedBit)
+{
+    vm::Kernel kernel(kparams());
+    const Ccid g = kernel.createGroup("g", 1);
+    auto *a = kernel.createProcess(g, "a");
+    auto *f = kernel.createFile("f", 1 << 20);
+    f->preload(kernel.frames());
+    kernel.mmapObject(*a, f, kVa, 1 << 20, 0, false, false, false);
+    kernel.handleFault(*a, kVa, AccessType::Read);
+    kernel.handleFault(*a, kVa + 0x1000, AccessType::Read);
+    kernel.clearAccessedBits();
+    // Re-touch only one page (through the kernel's fault path the A bit
+    // is set again only on resolution; use handleFault's None path).
+    kernel.handleFault(*a, kVa, AccessType::Read);
+
+    const auto stats = scanGroup(kernel, {a});
+    EXPECT_EQ(stats.total, 2u);
+    EXPECT_EQ(stats.active, 1u);
+}
+
+TEST(Pagemap, EmptyGroup)
+{
+    vm::Kernel kernel(kparams());
+    const auto stats = scanGroup(kernel, {});
+    EXPECT_EQ(stats.total, 0u);
+    EXPECT_DOUBLE_EQ(stats.shareableFraction(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.activeReduction(), 0.0);
+}

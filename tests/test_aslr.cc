@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for ASLR support (paper §IV-D): segment classification, offset
+ * randomization, and the ASLR-HW diff-offset transform module.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm/aslr.hh"
+
+using namespace bf;
+using namespace bf::vm;
+
+TEST(Aslr, SegmentClassification)
+{
+    EXPECT_EQ(segmentOf(segmentBase(Segment::Code)), Segment::Code);
+    EXPECT_EQ(segmentOf(segmentBase(Segment::Data)), Segment::Data);
+    EXPECT_EQ(segmentOf(segmentBase(Segment::Heap)), Segment::Heap);
+    EXPECT_EQ(segmentOf(segmentBase(Segment::Stack)), Segment::Stack);
+    EXPECT_EQ(segmentOf(segmentBase(Segment::Mmap)), Segment::Mmap);
+    EXPECT_EQ(segmentOf(segmentBase(Segment::Vdso)), Segment::Vdso);
+    EXPECT_EQ(segmentOf(segmentBase(Segment::Shm)), Segment::Shm);
+}
+
+TEST(Aslr, SegmentInteriorClassifies)
+{
+    const Addr mid = segmentBase(Segment::Mmap) +
+                     segmentSpan(Segment::Mmap) / 2;
+    EXPECT_EQ(segmentOf(mid), Segment::Mmap);
+}
+
+TEST(Aslr, SegmentsDisjoint)
+{
+    for (unsigned a = 0; a < numSegments; ++a) {
+        for (unsigned b = a + 1; b < numSegments; ++b) {
+            const Addr a_lo = segmentBase(static_cast<Segment>(a));
+            const Addr a_hi = a_lo + segmentSpan(static_cast<Segment>(a));
+            const Addr b_lo = segmentBase(static_cast<Segment>(b));
+            const Addr b_hi = b_lo + segmentSpan(static_cast<Segment>(b));
+            EXPECT_TRUE(a_hi <= b_lo || b_hi <= a_lo)
+                << "segments " << a << " and " << b << " overlap";
+        }
+    }
+}
+
+TEST(Aslr, OffsetsDeterministic)
+{
+    const auto a = AslrOffsets::randomize(42);
+    const auto b = AslrOffsets::randomize(42);
+    for (unsigned s = 0; s < numSegments; ++s)
+        EXPECT_EQ(a.offset[s], b.offset[s]);
+}
+
+TEST(Aslr, OffsetsDifferAcrossSeeds)
+{
+    const auto a = AslrOffsets::randomize(1);
+    const auto b = AslrOffsets::randomize(2);
+    int same = 0;
+    for (unsigned s = 0; s < numSegments; ++s)
+        same += a.offset[s] == b.offset[s];
+    EXPECT_LT(same, static_cast<int>(numSegments));
+}
+
+TEST(Aslr, OffsetsPageAlignedAndBounded)
+{
+    const auto offsets = AslrOffsets::randomize(77);
+    for (unsigned s = 0; s < numSegments; ++s) {
+        EXPECT_EQ(offsets.offset[s] % basePageBytes, 0);
+        EXPECT_GE(offsets.offset[s], 0);
+        EXPECT_LT(static_cast<std::uint64_t>(offsets.offset[s]),
+                  segmentSpan(static_cast<Segment>(s)) / 4);
+    }
+}
+
+TEST(Aslr, TransformIdentityForSameOffsets)
+{
+    const auto offsets = AslrOffsets::randomize(5);
+    AslrTransform transform(offsets, offsets);
+    const Addr va = segmentBase(Segment::Mmap) + 0x1234000;
+    EXPECT_EQ(transform.toShared(va), va);
+    EXPECT_EQ(transform.toProcess(va), va);
+}
+
+TEST(Aslr, TransformRoundTrip)
+{
+    const auto group = AslrOffsets::randomize(10);
+    const auto proc = AslrOffsets::randomize(20);
+    AslrTransform transform(group, proc);
+    for (unsigned s = 0; s < numSegments; ++s) {
+        const Addr va = segmentBase(static_cast<Segment>(s)) +
+                        segmentSpan(static_cast<Segment>(s)) / 2;
+        EXPECT_EQ(transform.toProcess(transform.toShared(va)), va)
+            << "segment " << s;
+    }
+}
+
+TEST(Aslr, TransformAppliesPerSegmentDiff)
+{
+    AslrOffsets group{};
+    AslrOffsets proc{};
+    group.offset[static_cast<unsigned>(Segment::Heap)] = 0x10000;
+    proc.offset[static_cast<unsigned>(Segment::Heap)] = 0x4000;
+    AslrTransform transform(group, proc);
+
+    const Addr heap_va = segmentBase(Segment::Heap) + 0x100000;
+    EXPECT_EQ(transform.toShared(heap_va), heap_va + 0xc000);
+    // Other segments unaffected.
+    const Addr code_va = segmentBase(Segment::Code) + 0x5000;
+    EXPECT_EQ(transform.toShared(code_va), code_va);
+}
+
+TEST(Aslr, TransformCyclesMatchTableI)
+{
+    EXPECT_EQ(AslrTransform::transformCycles, 2u);
+}

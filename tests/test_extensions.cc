@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Tests for the scheduling and ablation extensions: I/O-yield
+ * scheduling, data-serving request batching, the no-PC-bitmask design
+ * (max_cow_writers = 0), and the forced-long-L2 ORPC ablation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/system.hh"
+#include "vm/kernel.hh"
+#include "workloads/apps.hh"
+
+using namespace bf;
+using namespace bf::core;
+
+namespace
+{
+
+constexpr Addr kVa = 0x7f00'0000'0000ull;
+
+/** Thread that yields after every k-th ref. */
+class YieldThread : public Thread
+{
+  public:
+    YieldThread(std::string name, vm::Process *proc, unsigned yield_every)
+        : name_(std::move(name)), proc_(proc), yield_every_(yield_every)
+    {}
+
+    vm::Process *process() override { return proc_; }
+    const std::string &name() const override { return name_; }
+
+    bool
+    next(MemRef &ref) override
+    {
+        ++issued_;
+        ref.va = kVa + (issued_ % 8) * basePageBytes;
+        ref.type = AccessType::Read;
+        ref.instrs = 100;
+        ref.yield_after = yield_every_ && issued_ % yield_every_ == 0;
+        return true;
+    }
+
+    std::uint64_t issued_ = 0;
+
+  private:
+    std::string name_;
+    vm::Process *proc_;
+    unsigned yield_every_;
+};
+
+struct Fixture
+{
+    System sys;
+    vm::Process *a;
+    vm::Process *b;
+
+    explicit Fixture(SystemParams params = SystemParams::babelfish())
+        : sys([&] {
+              params.num_cores = 1;
+              params.kernel.mem_frames = 1 << 22;
+              return params;
+          }())
+    {
+        const Ccid g = sys.kernel().createGroup("g", 1);
+        a = sys.kernel().createProcess(g, "a");
+        b = sys.kernel().createProcess(g, "b");
+        auto *file = sys.kernel().createFile("f", 8 << 20);
+        file->preload(sys.kernel().frames());
+        sys.kernel().mmapObject(*a, file, kVa, 8 << 20, 0, false, false,
+                                false);
+        sys.kernel().mmapObject(*b, file, kVa, 8 << 20, 0, false, false,
+                                false);
+    }
+};
+
+} // namespace
+
+TEST(Yield, IoYieldSwitchesBeforeQuantumExpiry)
+{
+    // With the default 10 ms quantum, a 1 ms run would normally never
+    // switch; yielding threads interleave anyway.
+    Fixture f;
+    YieldThread ta("a", f.a, 10);
+    YieldThread tb("b", f.b, 10);
+    f.sys.addThread(0, &ta);
+    f.sys.addThread(0, &tb);
+    f.sys.run(msToCycles(1));
+    EXPECT_GT(ta.issued_, 100u);
+    EXPECT_GT(tb.issued_, 100u);
+    EXPECT_GT(f.sys.core(0).context_switches.value(), 10u);
+}
+
+TEST(Yield, NonYieldingThreadHoldsCore)
+{
+    Fixture f;
+    YieldThread ta("a", f.a, 0); // never yields
+    YieldThread tb("b", f.b, 0);
+    f.sys.addThread(0, &ta);
+    f.sys.addThread(0, &tb);
+    f.sys.run(msToCycles(1));
+    EXPECT_GT(ta.issued_, 100u);
+    EXPECT_EQ(tb.issued_, 0u); // quantum never expired
+}
+
+TEST(Yield, SingleThreadYieldToItselfIsFree)
+{
+    Fixture f;
+    YieldThread ta("a", f.a, 5);
+    f.sys.addThread(0, &ta);
+    f.sys.run(msToCycles(1));
+    EXPECT_GT(ta.issued_, 100u);
+    // Re-selecting the same thread is not a context switch.
+    EXPECT_EQ(f.sys.core(0).context_switches.value(), 0u);
+}
+
+TEST(Batching, DataServingYieldsOncePerBatch)
+{
+    vm::KernelParams kp;
+    kp.mem_frames = 1 << 22;
+    vm::Kernel kernel(kp);
+    auto profile = workloads::AppProfile::httpd();
+    profile.requests_per_batch = 4;
+    auto app = workloads::buildApp(kernel, profile, 1, 3);
+    workloads::DataServingThread thread(profile, app.containers[0], 5);
+
+    unsigned requests = 0, yields = 0;
+    for (int i = 0; i < 4000; ++i) {
+        core::MemRef ref;
+        ASSERT_TRUE(thread.next(ref));
+        if (ref.request_end)
+            ++requests;
+        if (ref.yield_after) {
+            ++yields;
+            EXPECT_TRUE(ref.request_end); // yields only at request ends
+        }
+    }
+    ASSERT_GT(requests, 8u);
+    EXPECT_NEAR(static_cast<double>(requests) / yields, 4.0, 0.5);
+}
+
+TEST(Batching, ZeroBatchNeverYields)
+{
+    vm::KernelParams kp;
+    kp.mem_frames = 1 << 22;
+    vm::Kernel kernel(kp);
+    auto profile = workloads::AppProfile::httpd();
+    profile.requests_per_batch = 0;
+    auto app = workloads::buildApp(kernel, profile, 1, 3);
+    workloads::DataServingThread thread(profile, app.containers[0], 5);
+    for (int i = 0; i < 2000; ++i) {
+        core::MemRef ref;
+        thread.next(ref);
+        EXPECT_FALSE(ref.yield_after);
+    }
+}
+
+TEST(Ablation, NoPcBitmaskRevertsOnFirstCow)
+{
+    vm::KernelParams params;
+    params.babelfish = true;
+    params.aslr = vm::AslrMode::Sw;
+    params.max_cow_writers = 0; // the no-PC-bitmask design (§VII-D)
+    params.mem_frames = 1 << 22;
+    vm::Kernel kernel(params);
+
+    const Ccid g = kernel.createGroup("g", 1);
+    auto *file = kernel.createFile("f", 8 << 20);
+    file->preload(kernel.frames());
+    vm::Process *a = kernel.createProcess(g, "a");
+    vm::Process *b = kernel.createProcess(g, "b");
+    kernel.mmapObject(*a, file, kVa, 8 << 20, 0, true, false, false);
+    kernel.mmapObject(*b, file, kVa, 8 << 20, 0, true, false, false);
+
+    kernel.handleFault(*a, kVa, AccessType::Read);
+    kernel.handleFault(*b, kVa, AccessType::Read);
+    EXPECT_EQ(kernel.shared_installs.value(), 1u);
+
+    // First CoW write immediately stops sharing for the whole set.
+    kernel.handleFault(*b, kVa, AccessType::Write);
+    EXPECT_EQ(kernel.mask_fallbacks.value(), 1u);
+    EXPECT_EQ(kernel.cow_privatizations.value(), 0u);
+    vm::MaskPage *mask = kernel.maskFor(g, kVa);
+    ASSERT_NE(mask, nullptr);
+    EXPECT_EQ(mask->writerCount(), 0u); // pid_list never used
+}
+
+TEST(Ablation, ForceLongL2ChargesExtraCycles)
+{
+    auto run = [](bool force) {
+        SystemParams params = SystemParams::babelfish();
+        params.mmu.force_long_l2 = force;
+        Fixture f(params);
+        // Fill the L2, evict from L1, then re-hit in the L2.
+        auto &mmu = f.sys.core(0).mmu();
+        mmu.translate(*f.a, kVa, AccessType::Read, 0);
+        for (int i = 1; i < 129; ++i)
+            mmu.translate(*f.a, kVa + i * basePageBytes, AccessType::Read,
+                          i * 50);
+        return mmu.translate(*f.a, kVa, AccessType::Read, 100000).cycles;
+    };
+    EXPECT_EQ(run(false) + 2, run(true));
+}
+
+TEST(Ablation, ScanChurnAdvancesCursor)
+{
+    vm::KernelParams kp;
+    kp.mem_frames = 1 << 22;
+    vm::Kernel kernel(kp);
+    auto profile = workloads::AppProfile::mongodb();
+    profile.scan_fraction = 1.0; // every request is a scan burst
+    auto app = workloads::buildApp(kernel, profile, 1, 3);
+    workloads::DataServingThread thread(profile, app.containers[0], 5);
+
+    std::set<Addr> pages;
+    for (int i = 0; i < 2000; ++i) {
+        core::MemRef ref;
+        thread.next(ref);
+        if (ref.va >= workloads::AppInstance::datasetBase() &&
+            ref.type == AccessType::Read)
+            pages.insert(ref.va >> 12);
+    }
+    // Scans keep touching fresh pages.
+    EXPECT_GT(pages.size(), 500u);
+}
+
+TEST(Ablation, HotSetBoundsServingFootprint)
+{
+    vm::KernelParams kp;
+    kp.mem_frames = 1 << 22;
+    vm::Kernel kernel(kp);
+    auto profile = workloads::AppProfile::httpd();
+    profile.scan_fraction = 0;
+    profile.cold_fraction = 0;
+    profile.hot_records = 50;
+    auto app = workloads::buildApp(kernel, profile, 1, 3);
+    workloads::DataServingThread thread(profile, app.containers[0], 5);
+
+    std::set<Addr> record_pages;
+    for (int i = 0; i < 20000; ++i) {
+        core::MemRef ref;
+        thread.next(ref);
+        const Addr base = workloads::AppInstance::datasetBase();
+        if (ref.va >= base &&
+            ref.va < base + profile.dataset_bytes)
+            record_pages.insert(ref.va >> 12);
+    }
+    // 50 records x 3 pages + 64 index pages, with slack.
+    EXPECT_LE(record_pages.size(),
+              50u * profile.pages_per_record + profile.index_pages + 8);
+}

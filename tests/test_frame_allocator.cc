@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Tests for the physical frame allocator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "vm/frame_allocator.hh"
+
+using namespace bf;
+using namespace bf::vm;
+
+TEST(FrameAllocator, FrameZeroReserved)
+{
+    FrameAllocator alloc(100);
+    EXPECT_NE(alloc.allocate(), 0u);
+}
+
+TEST(FrameAllocator, UniqueFrames)
+{
+    FrameAllocator alloc(1000);
+    std::set<Ppn> seen;
+    for (int i = 0; i < 500; ++i)
+        EXPECT_TRUE(seen.insert(alloc.allocate()).second);
+}
+
+TEST(FrameAllocator, FreeAndReuse)
+{
+    FrameAllocator alloc(100);
+    const Ppn a = alloc.allocate();
+    alloc.free(a);
+    EXPECT_EQ(alloc.allocate(), a);
+}
+
+TEST(FrameAllocator, InUseAccounting)
+{
+    FrameAllocator alloc(100);
+    const Ppn a = alloc.allocate();
+    alloc.allocate();
+    EXPECT_EQ(alloc.inUse(), 2u);
+    alloc.free(a);
+    EXPECT_EQ(alloc.inUse(), 1u);
+}
+
+TEST(FrameAllocator, ContiguousAllocation)
+{
+    FrameAllocator alloc(10000);
+    const Ppn base = alloc.allocateContiguous(512);
+    const Ppn next = alloc.allocate();
+    EXPECT_EQ(next, base + 512);
+    EXPECT_EQ(alloc.inUse(), 513u);
+}
+
+TEST(FrameAllocator, ContiguousSkipsFreeList)
+{
+    FrameAllocator alloc(10000);
+    const Ppn a = alloc.allocate();
+    alloc.free(a);
+    // Contiguous allocations must not pick from the (fragmented) free
+    // list.
+    const Ppn base = alloc.allocateContiguous(4);
+    EXPECT_NE(base, a);
+}
+
+TEST(FrameAllocatorDeath, Exhaustion)
+{
+    FrameAllocator alloc(4);
+    alloc.allocate();
+    alloc.allocate();
+    alloc.allocate();
+    EXPECT_EXIT(alloc.allocate(), ::testing::ExitedWithCode(1),
+                "out of physical memory");
+}

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for the three-level cache hierarchy: fill paths, serving levels,
+ * latency composition, instruction/data split, coherence, and the shared
+ * L3 reuse that page-table fusion relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/hierarchy.hh"
+
+using namespace bf;
+using namespace bf::mem;
+
+namespace
+{
+
+HierarchyParams
+params()
+{
+    return HierarchyParams{};
+}
+
+} // namespace
+
+TEST(Hierarchy, ColdMissGoesToMemory)
+{
+    CacheHierarchy h(params(), 2);
+    const auto r = h.access(0, 0x1000, AccessType::Read, 0);
+    EXPECT_EQ(r.served_by, MemLevel::Memory);
+    // Latency at least L1+L2+L3 access times plus DRAM.
+    EXPECT_GT(r.latency, 2u + 8u + 32u);
+}
+
+TEST(Hierarchy, SecondAccessHitsL1)
+{
+    CacheHierarchy h(params(), 2);
+    h.access(0, 0x1000, AccessType::Read, 0);
+    const auto r = h.access(0, 0x1000, AccessType::Read, 100);
+    EXPECT_EQ(r.served_by, MemLevel::L1);
+    EXPECT_EQ(r.latency, 2u);
+}
+
+TEST(Hierarchy, IfetchUsesSeparateL1)
+{
+    CacheHierarchy h(params(), 1);
+    h.access(0, 0x1000, AccessType::Read, 0);
+    // Same line as an ifetch: the L1I does not have it, but the L2 does.
+    const auto r = h.access(0, 0x1000, AccessType::Ifetch, 100);
+    EXPECT_EQ(r.served_by, MemLevel::L2);
+}
+
+TEST(Hierarchy, StartAtL2SkipsL1)
+{
+    CacheHierarchy h(params(), 1);
+    h.access(0, 0x1000, AccessType::Read, 0, /*start_at_l2=*/true);
+    // The L1 must not have been filled.
+    EXPECT_FALSE(h.l1d(0).contains(0x1000));
+    EXPECT_TRUE(h.l2(0).contains(0x1000));
+    const auto r = h.access(0, 0x1000, AccessType::Read, 100,
+                            /*start_at_l2=*/true);
+    EXPECT_EQ(r.served_by, MemLevel::L2);
+    EXPECT_EQ(r.latency, 8u);
+}
+
+TEST(Hierarchy, CrossCoreReuseThroughL3)
+{
+    // The paper's Fig. 7: core 1 reuses the pte_t lines core 0's walk
+    // brought into the shared L3.
+    CacheHierarchy h(params(), 2);
+    h.access(0, 0x5000, AccessType::Read, 0);
+    const auto r = h.access(1, 0x5000, AccessType::Read, 100);
+    EXPECT_EQ(r.served_by, MemLevel::L3);
+    EXPECT_EQ(r.latency, 2u + 8u + 32u);
+}
+
+TEST(Hierarchy, WriteInvalidatesPeerCopies)
+{
+    CacheHierarchy h(params(), 2);
+    h.access(0, 0x3000, AccessType::Read, 0);
+    h.access(1, 0x3000, AccessType::Read, 0);
+    EXPECT_TRUE(h.l1d(0).contains(0x3000));
+    // Core 1 writes: core 0's private copies must be invalidated.
+    h.access(1, 0x3000, AccessType::Write, 100);
+    EXPECT_FALSE(h.l1d(0).contains(0x3000));
+    EXPECT_FALSE(h.l2(0).contains(0x3000));
+    EXPECT_TRUE(h.l1d(1).contains(0x3000));
+}
+
+TEST(Hierarchy, NoCoherenceWhenDisabled)
+{
+    HierarchyParams p = params();
+    p.model_coherence = false;
+    CacheHierarchy h(p, 2);
+    h.access(0, 0x3000, AccessType::Read, 0);
+    h.access(1, 0x3000, AccessType::Write, 100);
+    EXPECT_TRUE(h.l1d(0).contains(0x3000));
+}
+
+TEST(Hierarchy, FillsAllLevelsOnMemoryAccess)
+{
+    CacheHierarchy h(params(), 1);
+    h.access(0, 0x7000, AccessType::Read, 0);
+    EXPECT_TRUE(h.l1d(0).contains(0x7000));
+    EXPECT_TRUE(h.l2(0).contains(0x7000));
+    EXPECT_TRUE(h.l3().contains(0x7000));
+}
+
+TEST(Hierarchy, FlushAll)
+{
+    CacheHierarchy h(params(), 1);
+    h.access(0, 0x7000, AccessType::Read, 0);
+    h.flushAll();
+    EXPECT_FALSE(h.l1d(0).contains(0x7000));
+    EXPECT_FALSE(h.l2(0).contains(0x7000));
+    EXPECT_FALSE(h.l3().contains(0x7000));
+}
+
+TEST(Hierarchy, LatencyMonotoneByLevel)
+{
+    CacheHierarchy h(params(), 2);
+    const auto mem = h.access(0, 0x9000, AccessType::Read, 0);
+    const auto l3 = h.access(1, 0x9000, AccessType::Read, 0);
+    const auto l1 = h.access(1, 0x9000, AccessType::Read, 0);
+    EXPECT_GT(mem.latency, l3.latency);
+    EXPECT_GT(l3.latency, l1.latency);
+}
+
+TEST(Hierarchy, PrivateCachesArePerCore)
+{
+    CacheHierarchy h(params(), 2);
+    h.access(0, 0xa000, AccessType::Read, 0);
+    EXPECT_TRUE(h.l1d(0).contains(0xa000));
+    EXPECT_FALSE(h.l1d(1).contains(0xa000));
+    EXPECT_FALSE(h.l2(1).contains(0xa000));
+}
+
+TEST(HierarchyDeath, CoreOutOfRange)
+{
+    CacheHierarchy h(params(), 2);
+    EXPECT_DEATH(h.access(2, 0, AccessType::Read, 0), "out of range");
+}

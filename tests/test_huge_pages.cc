@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Huge-page support across the stack (paper §IV-C): 2 MB and 1 GB leaf
+ * mappings, PMD- and PUD-table merging, huge CoW privatization, and the
+ * MMU's size-specific TLB structures.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/mmu.hh"
+#include "vm/kernel.hh"
+
+using namespace bf;
+using namespace bf::vm;
+
+namespace
+{
+
+KernelParams
+kparams(bool babelfish = true)
+{
+    KernelParams p;
+    p.babelfish = babelfish;
+    p.aslr = AslrMode::Sw;
+    p.mem_frames = 1 << 23; // 32 GB for 1 GB pages
+    return p;
+}
+
+// 1 GB-aligned canonical address inside the Shm segment.
+constexpr Addr kGigaVa = 0x7e40'0000'0000ull;
+// 2 MB-aligned address in the Mmap segment.
+constexpr Addr kHugeVa = 0x7f00'0000'0000ull;
+
+} // namespace
+
+TEST(HugePages, FileBacked2MMapping)
+{
+    Kernel kernel(kparams());
+    const Ccid g = kernel.createGroup("g", 1);
+    Process *p = kernel.createProcess(g, "p");
+    MappedObject *f = kernel.createFile("huge", 8ull << 20);
+    kernel.mmapObject(*p, f, kHugeVa, 8ull << 20, 0, false, false, false,
+                      PageSize::Size2M);
+    EXPECT_EQ(p->findVma(kHugeVa)->page_size, PageSize::Size2M);
+    EXPECT_EQ(p->findVma(kHugeVa)->leafLevel(), LevelPmd);
+
+    EXPECT_EQ(kernel.handleFault(*p, kHugeVa + 0x1234,
+                                 AccessType::Read).kind,
+              FaultKind::Major);
+    bool seen = false;
+    kernel.forEachTranslation(*p, [&](Addr va, const Entry &e,
+                                      PageSize size) {
+        if (va == kHugeVa) {
+            seen = true;
+            EXPECT_EQ(size, PageSize::Size2M);
+            EXPECT_TRUE(e.huge());
+        }
+    });
+    EXPECT_TRUE(seen);
+}
+
+TEST(HugePages, GigaPageMapping)
+{
+    Kernel kernel(kparams());
+    const Ccid g = kernel.createGroup("g", 1);
+    Process *p = kernel.createProcess(g, "p");
+    MappedObject *f = kernel.createFile("giga", 2ull << 30);
+    kernel.mmapObject(*p, f, kGigaVa, 2ull << 30, 0, false, false, false,
+                      PageSize::Size1G);
+    EXPECT_EQ(p->findVma(kGigaVa)->leafLevel(), LevelPud);
+
+    kernel.handleFault(*p, kGigaVa + 0x123456, AccessType::Read);
+    bool seen = false;
+    kernel.forEachTranslation(*p, [&](Addr va, const Entry &e,
+                                      PageSize size) {
+        if (va == kGigaVa) {
+            seen = true;
+            EXPECT_EQ(size, PageSize::Size1G);
+            EXPECT_TRUE(e.huge());
+            // The backing frames are contiguous across the whole GB.
+            EXPECT_NE(e.frame(), 0u);
+        }
+    });
+    EXPECT_TRUE(seen);
+    // PGD -> PUD only: two table pages.
+    EXPECT_EQ(kernel.countTablePages(*p), 2u);
+}
+
+TEST(HugePages, PmdTableMergedFor2MPages)
+{
+    // Paper §IV-C: with 2 MB pages, BabelFish merges PMD tables.
+    Kernel kernel(kparams());
+    const Ccid g = kernel.createGroup("g", 1);
+    Process *a = kernel.createProcess(g, "a");
+    Process *b = kernel.createProcess(g, "b");
+    MappedObject *f = kernel.createFile("huge", 64ull << 20);
+    f->preload(kernel.frames());
+    for (auto *p : {a, b})
+        kernel.mmapObject(*p, f, kHugeVa, 64ull << 20, 0, false, false,
+                          false, PageSize::Size2M);
+
+    EXPECT_EQ(kernel.handleFault(*a, kHugeVa, AccessType::Read).kind,
+              FaultKind::Minor);
+    EXPECT_EQ(kernel.handleFault(*b, kHugeVa, AccessType::Read).kind,
+              FaultKind::SharedInstall);
+
+    // Both PUD entries point at the same PMD table.
+    PageTablePage *pud_a =
+        kernel.tableByFrame(a->pgd()->entryFor(kHugeVa).frame());
+    PageTablePage *pud_b =
+        kernel.tableByFrame(b->pgd()->entryFor(kHugeVa).frame());
+    EXPECT_EQ(pud_a->entryFor(kHugeVa).frame(),
+              pud_b->entryFor(kHugeVa).frame());
+    PageTablePage *pmd =
+        kernel.tableByFrame(pud_a->entryFor(kHugeVa).frame());
+    EXPECT_TRUE(pmd->group_shared);
+    EXPECT_EQ(pmd->sharers, 2u);
+    EXPECT_EQ(pmd->level(), LevelPmd);
+}
+
+TEST(HugePages, PudTableMergedFor1GPages)
+{
+    // Paper §IV-C: with 1 GB pages, BabelFish merges PUD tables.
+    Kernel kernel(kparams());
+    const Ccid g = kernel.createGroup("g", 1);
+    Process *a = kernel.createProcess(g, "a");
+    Process *b = kernel.createProcess(g, "b");
+    MappedObject *f = kernel.createFile("giga", 2ull << 30);
+    f->preload(kernel.frames());
+    for (auto *p : {a, b})
+        kernel.mmapObject(*p, f, kGigaVa, 2ull << 30, 0, false, false,
+                          false, PageSize::Size1G);
+
+    kernel.handleFault(*a, kGigaVa, AccessType::Read);
+    EXPECT_EQ(kernel.handleFault(*b, kGigaVa, AccessType::Read).kind,
+              FaultKind::SharedInstall);
+    EXPECT_EQ(a->pgd()->entryFor(kGigaVa).frame(),
+              b->pgd()->entryFor(kGigaVa).frame());
+    PageTablePage *pud =
+        kernel.tableByFrame(a->pgd()->entryFor(kGigaVa).frame());
+    EXPECT_TRUE(pud->group_shared);
+    EXPECT_EQ(pud->level(), LevelPud);
+}
+
+TEST(HugePages, HugeCowPrivatizesSharedPmdTable)
+{
+    Kernel kernel(kparams());
+    const Ccid g = kernel.createGroup("g", 1);
+    Process *a = kernel.createProcess(g, "a");
+    Process *b = kernel.createProcess(g, "b");
+    MappedObject *f = kernel.createFile("huge", 64ull << 20);
+    f->preload(kernel.frames());
+    for (auto *p : {a, b})
+        kernel.mmapObject(*p, f, kHugeVa, 64ull << 20, 0,
+                          /*writable=*/true, false, /*shared=*/false,
+                          PageSize::Size2M);
+
+    kernel.handleFault(*a, kHugeVa, AccessType::Read);
+    kernel.handleFault(*b, kHugeVa, AccessType::Read);
+    EXPECT_EQ(kernel.handleFault(*b, kHugeVa, AccessType::Write).kind,
+              FaultKind::Cow);
+
+    // b owns a private PMD table with a fresh 2 MB chunk; a still
+    // shares the clean one.
+    PageTablePage *pud_a =
+        kernel.tableByFrame(a->pgd()->entryFor(kHugeVa).frame());
+    PageTablePage *pud_b =
+        kernel.tableByFrame(b->pgd()->entryFor(kHugeVa).frame());
+    EXPECT_NE(pud_a->entryFor(kHugeVa).frame(),
+              pud_b->entryFor(kHugeVa).frame());
+    EXPECT_TRUE(pud_b->entryFor(kHugeVa).owned());
+    PageTablePage *pmd_a =
+        kernel.tableByFrame(pud_a->entryFor(kHugeVa).frame());
+    PageTablePage *pmd_b =
+        kernel.tableByFrame(pud_b->entryFor(kHugeVa).frame());
+    EXPECT_NE(pmd_a->entryFor(kHugeVa).frame(),
+              pmd_b->entryFor(kHugeVa).frame());
+    EXPECT_TRUE(pmd_b->entryFor(kHugeVa).writable());
+    EXPECT_TRUE(pmd_a->entryFor(kHugeVa).cow());
+    // The mask covers the PUD-table span and records the writer.
+    MaskPage *mask = kernel.maskFor(g, kHugeVa);
+    ASSERT_NE(mask, nullptr);
+    EXPECT_EQ(mask->bitFor(b->pid()), 0);
+}
+
+TEST(HugePages, MmuUses1GTlbStructures)
+{
+    core::SystemParams sp = core::SystemParams::babelfish();
+    sp.kernel.mem_frames = 1 << 23;
+    sp.kernel.aslr = AslrMode::Sw;
+    sp.mmu.aslr = AslrMode::Sw;
+    Kernel kernel(sp.kernel);
+    mem::CacheHierarchy mem(sp.mem, 1);
+    core::Mmu mmu(0, sp.mmu, mem, kernel);
+    kernel.setTlbInvalidateHook(
+        [&](const TlbInvalidate &inv) { mmu.applyInvalidate(inv); });
+
+    const Ccid g = kernel.createGroup("g", 1);
+    Process *p = kernel.createProcess(g, "p");
+    MappedObject *f = kernel.createFile("giga", 1ull << 30);
+    f->preload(kernel.frames());
+    kernel.mmapObject(*p, f, kGigaVa, 1ull << 30, 0, false, false, false,
+                      PageSize::Size1G);
+
+    const auto t = mmu.translate(*p, kGigaVa + 0xabcdef,
+                                 AccessType::Read, 0);
+    EXPECT_EQ(t.size, PageSize::Size1G);
+    EXPECT_EQ(t.paddr & ((1ull << 30) - 1), 0xabcdefull);
+    EXPECT_EQ(mmu.l1d(PageSize::Size1G).validCount(), 1u);
+    EXPECT_EQ(mmu.l2(PageSize::Size1G).validCount(), 1u);
+    // Anywhere in the same GB hits the L1 1G TLB.
+    const auto t2 = mmu.translate(*p, kGigaVa + (512ull << 20),
+                                  AccessType::Read, 100);
+    EXPECT_EQ(t2.cycles, 1u);
+}
+
+TEST(HugePages, MixedSizesCoexistInOneProcess)
+{
+    Kernel kernel(kparams());
+    const Ccid g = kernel.createGroup("g", 1);
+    Process *p = kernel.createProcess(g, "p");
+    MappedObject *small = kernel.createFile("s", 1 << 20);
+    MappedObject *huge = kernel.createFile("h", 4ull << 20);
+    MappedObject *giga = kernel.createFile("g", 1ull << 30);
+    small->preload(kernel.frames());
+    huge->preload(kernel.frames());
+    giga->preload(kernel.frames());
+    kernel.mmapObject(*p, small, kHugeVa, 1 << 20, 0, false, false,
+                      false);
+    kernel.mmapObject(*p, huge, kHugeVa + (1ull << 30), 4ull << 20, 0,
+                      false, false, false, PageSize::Size2M);
+    kernel.mmapObject(*p, giga, kGigaVa, 1ull << 30, 0, false, false,
+                      false, PageSize::Size1G);
+
+    kernel.handleFault(*p, kHugeVa, AccessType::Read);
+    kernel.handleFault(*p, kHugeVa + (1ull << 30), AccessType::Read);
+    kernel.handleFault(*p, kGigaVa, AccessType::Read);
+
+    unsigned sizes[3] = {0, 0, 0};
+    kernel.forEachTranslation(*p, [&](Addr, const Entry &, PageSize size) {
+        ++sizes[static_cast<unsigned>(size)];
+    });
+    EXPECT_EQ(sizes[0], 1u);
+    EXPECT_EQ(sizes[1], 1u);
+    EXPECT_EQ(sizes[2], 1u);
+}
+
+TEST(HugePages, DifferentPageSizesDoNotShare)
+{
+    // Same object, same VA, different backing size: the region
+    // signature differs and the tables stay private.
+    Kernel kernel(kparams());
+    const Ccid g = kernel.createGroup("g", 1);
+    Process *a = kernel.createProcess(g, "a");
+    Process *b = kernel.createProcess(g, "b");
+    MappedObject *f = kernel.createFile("f", 4ull << 20);
+    f->preload(kernel.frames());
+    kernel.mmapObject(*a, f, kHugeVa, 4ull << 20, 0, false, false, false,
+                      PageSize::Size2M);
+    kernel.mmapObject(*b, f, kHugeVa, 4ull << 20, 0, false, false, false,
+                      PageSize::Size4K);
+    kernel.handleFault(*a, kHugeVa, AccessType::Read);
+    EXPECT_EQ(kernel.handleFault(*b, kHugeVa, AccessType::Read).kind,
+              FaultKind::Minor);
+    EXPECT_EQ(kernel.shared_installs.value(), 0u);
+}
+
+TEST(HugePagesDeath, UnalignedHugeMmapRejected)
+{
+    Kernel kernel(kparams());
+    const Ccid g = kernel.createGroup("g", 1);
+    Process *p = kernel.createProcess(g, "p");
+    MappedObject *f = kernel.createFile("f", 4ull << 20);
+    EXPECT_DEATH(kernel.mmapObject(*p, f, kHugeVa + 0x1000, 2ull << 20, 0,
+                                   false, false, false, PageSize::Size2M),
+                 "unaligned");
+}

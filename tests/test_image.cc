@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Container-image model tests: layer objects, canonical layout,
+ * permissions, page-cache warmth, and cross-container image sharing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm/kernel.hh"
+#include "workloads/image.hh"
+
+using namespace bf;
+using namespace bf::vm;
+using namespace bf::workloads;
+
+namespace
+{
+
+KernelParams
+kparams()
+{
+    KernelParams p;
+    p.aslr = AslrMode::Sw;
+    p.mem_frames = 1 << 22;
+    return p;
+}
+
+} // namespace
+
+TEST(Image, CreatesFourLayers)
+{
+    Kernel kernel(kparams());
+    ImageParams params;
+    ContainerImage image(kernel, "app", params);
+    EXPECT_EQ(image.runtimeLibs()->bytes(), params.runtime_lib_bytes);
+    EXPECT_EQ(image.middleware()->bytes(), params.middleware_bytes);
+    EXPECT_EQ(image.binary()->bytes(), params.binary_bytes);
+    EXPECT_EQ(image.config()->bytes(), params.config_bytes);
+    EXPECT_TRUE(image.binary()->isFile());
+}
+
+TEST(Image, MapIntoGivesExpectedPermissions)
+{
+    Kernel kernel(kparams());
+    ContainerImage image(kernel, "app", ImageParams{});
+    const Ccid g = kernel.createGroup("g", 1);
+    Process *p = kernel.createProcess(g, "p");
+    image.mapInto(kernel, *p);
+
+    const Vma *binary = p->findVma(image.binaryBase());
+    ASSERT_NE(binary, nullptr);
+    EXPECT_TRUE(binary->exec);
+    EXPECT_FALSE(binary->writable);
+
+    const Vma *libs = p->findVma(image.runtimeLibBase());
+    ASSERT_NE(libs, nullptr);
+    EXPECT_TRUE(libs->exec);
+
+    const Vma *config = p->findVma(image.configBase());
+    ASSERT_NE(config, nullptr);
+    EXPECT_TRUE(config->writable);
+    EXPECT_FALSE(config->shared); // written pages CoW
+}
+
+TEST(Image, LayoutSegmentsAreCanonical)
+{
+    Kernel kernel(kparams());
+    ContainerImage image(kernel, "app", ImageParams{});
+    EXPECT_EQ(segmentOf(image.binaryBase()), Segment::Code);
+    EXPECT_EQ(segmentOf(image.runtimeLibBase()), Segment::Mmap);
+    EXPECT_EQ(segmentOf(image.middlewareBase()), Segment::Mmap);
+    EXPECT_EQ(segmentOf(image.configBase()), Segment::Data);
+}
+
+TEST(Image, WarmImageTakesNoMajorFaults)
+{
+    Kernel kernel(kparams());
+    ContainerImage image(kernel, "app", ImageParams{}, /*warm=*/true);
+    const Ccid g = kernel.createGroup("g", 1);
+    Process *p = kernel.createProcess(g, "p");
+    image.mapInto(kernel, *p);
+    kernel.handleFault(*p, image.binaryBase(), AccessType::Ifetch);
+    kernel.handleFault(*p, image.runtimeLibBase(), AccessType::Read);
+    EXPECT_EQ(kernel.major_faults.value(), 0u);
+}
+
+TEST(Image, ColdImageTakesMajorFaults)
+{
+    Kernel kernel(kparams());
+    ContainerImage image(kernel, "app", ImageParams{}, /*warm=*/false);
+    const Ccid g = kernel.createGroup("g", 1);
+    Process *p = kernel.createProcess(g, "p");
+    image.mapInto(kernel, *p);
+    kernel.handleFault(*p, image.binaryBase(), AccessType::Ifetch);
+    EXPECT_EQ(kernel.major_faults.value(), 1u);
+}
+
+TEST(Image, SharedAcrossContainersOfDifferentGroups)
+{
+    // The page cache is machine-wide: even containers of DIFFERENT
+    // users/groups map the same image frames (though their translations
+    // are never fused — isolation is per CCID).
+    Kernel kernel(kparams());
+    ContainerImage image(kernel, "app", ImageParams{});
+    const Ccid g1 = kernel.createGroup("g1", 1);
+    const Ccid g2 = kernel.createGroup("g2", 2);
+    Process *a = kernel.createProcess(g1, "a");
+    Process *b = kernel.createProcess(g2, "b");
+    image.mapInto(kernel, *a);
+    image.mapInto(kernel, *b);
+    kernel.handleFault(*a, image.binaryBase(), AccessType::Ifetch);
+    kernel.handleFault(*b, image.binaryBase(), AccessType::Ifetch);
+
+    Ppn fa = 0, fb = 0;
+    kernel.forEachTranslation(*a, [&](Addr va, const Entry &e, PageSize) {
+        if (va == image.binaryBase())
+            fa = e.frame();
+    });
+    kernel.forEachTranslation(*b, [&](Addr va, const Entry &e, PageSize) {
+        if (va == image.binaryBase())
+            fb = e.frame();
+    });
+    EXPECT_EQ(fa, fb);                               // same frame
+    EXPECT_EQ(kernel.shared_installs.value(), 0u);   // no fused tables
+}
+
+TEST(ImageDeath, OverlappingMmapRejected)
+{
+    Kernel kernel(kparams());
+    const Ccid g = kernel.createGroup("g", 1);
+    Process *p = kernel.createProcess(g, "p");
+    MappedObject *f = kernel.createFile("f", 4 << 20);
+    kernel.mmapObject(*p, f, 0x7f00'0000'0000ull, 2 << 20, 0, false,
+                      false, false);
+    EXPECT_DEATH(kernel.mmapObject(*p, f, 0x7f00'0010'0000ull, 2 << 20, 0,
+                                   false, false, false),
+                 "overlapping mmap");
+}

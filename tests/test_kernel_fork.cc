@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Fork semantics: translation replication in the baseline (the problem
+ * the paper identifies), CoW protection, divergence after writes, and
+ * the cheaper BabelFish fork that shares tables instead of copying.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "vm/kernel.hh"
+
+using namespace bf;
+using namespace bf::vm;
+
+namespace
+{
+
+KernelParams
+kernelParams(bool babelfish)
+{
+    KernelParams p;
+    p.babelfish = babelfish;
+    p.aslr = AslrMode::Sw;
+    p.mem_frames = 1 << 22;
+    return p;
+}
+
+constexpr Addr kLib = 0x7f00'0000'0000ull;  // Mmap
+constexpr Addr kHeap = 0x0001'0000'0000ull; // Heap
+
+/** Collect a process's translations keyed by VA. */
+std::map<Addr, Entry>
+translationsOf(const Kernel &kernel, const Process &proc)
+{
+    std::map<Addr, Entry> result;
+    kernel.forEachTranslation(proc,
+                              [&](Addr va, const Entry &e, PageSize) {
+                                  result[va] = e;
+                              });
+    return result;
+}
+
+} // namespace
+
+TEST(Fork, ChildInheritsVmas)
+{
+    Kernel kernel(kernelParams(false));
+    const Ccid g = kernel.createGroup("g", 1);
+    Process *parent = kernel.createProcess(g, "parent");
+    MappedObject *lib = kernel.createFile("lib", 1 << 20);
+    kernel.mmapObject(*parent, lib, kLib, 1 << 20, 0, false, true, false);
+    Process *child = kernel.fork(*parent, "child");
+    ASSERT_NE(child->findVma(kLib), nullptr);
+    EXPECT_EQ(child->findVma(kLib)->object, lib);
+}
+
+TEST(Fork, BaselineReplicatesTranslations)
+{
+    // The paper §II-C: after fork, parent and child hold identical
+    // {VPN, PPN} translations in *separate* page tables.
+    Kernel kernel(kernelParams(false));
+    const Ccid g = kernel.createGroup("g", 1);
+    Process *parent = kernel.createProcess(g, "parent");
+    MappedObject *lib = kernel.createFile("lib", 1 << 20);
+    lib->preload(kernel.frames());
+    kernel.mmapObject(*parent, lib, kLib, 1 << 20, 0, false, true, false);
+    for (int i = 0; i < 20; ++i)
+        kernel.handleFault(*parent, kLib + i * basePageBytes,
+                           AccessType::Read);
+
+    Process *child = kernel.fork(*parent, "child");
+
+    const auto pt = translationsOf(kernel, *parent);
+    const auto ct = translationsOf(kernel, *child);
+    ASSERT_EQ(pt.size(), 20u);
+    ASSERT_EQ(ct.size(), 20u);
+    for (const auto &[va, pe] : pt) {
+        ASSERT_TRUE(ct.count(va));
+        EXPECT_EQ(ct.at(va).frame(), pe.frame());
+        EXPECT_EQ(ct.at(va).permBits(), pe.permBits());
+    }
+    // ... in distinct leaf tables: the page-table page count doubled
+    // below the shared-nothing baseline PGDs.
+    EXPECT_EQ(kernel.countTablePages(*parent), 4u);
+    EXPECT_EQ(kernel.countTablePages(*child), 4u);
+    EXPECT_NE(parent->pgd(), child->pgd());
+    EXPECT_GE(kernel.fork_entries_copied.value(), 20u);
+}
+
+TEST(Fork, BabelFishSharesLeafTables)
+{
+    Kernel kernel(kernelParams(true));
+    const Ccid g = kernel.createGroup("g", 1);
+    Process *parent = kernel.createProcess(g, "parent");
+    MappedObject *lib = kernel.createFile("lib", 1 << 20);
+    lib->preload(kernel.frames());
+    kernel.mmapObject(*parent, lib, kLib, 1 << 20, 0, false, true, false);
+    for (int i = 0; i < 20; ++i)
+        kernel.handleFault(*parent, kLib + i * basePageBytes,
+                           AccessType::Read);
+
+    const auto copied_before = kernel.fork_entries_copied.value();
+    Process *child = kernel.fork(*parent, "child");
+
+    // The leaf (PTE) table is shared: both PMD entries hold its frame.
+    const Entry parent_pmd =
+        kernel.tableByFrame(
+                  kernel.tableByFrame(parent->pgd()->entryFor(kLib).frame())
+                      ->entryFor(kLib)
+                      .frame())
+            ->entryFor(kLib);
+    const Entry child_pmd =
+        kernel.tableByFrame(
+                  kernel.tableByFrame(child->pgd()->entryFor(kLib).frame())
+                      ->entryFor(kLib)
+                      .frame())
+            ->entryFor(kLib);
+    EXPECT_EQ(parent_pmd.frame(), child_pmd.frame());
+    PageTablePage *shared = kernel.tableByFrame(parent_pmd.frame());
+    ASSERT_NE(shared, nullptr);
+    EXPECT_TRUE(shared->group_shared);
+    EXPECT_EQ(shared->sharers, 2u);
+    // No leaf entries were copied for the shared table.
+    EXPECT_EQ(kernel.fork_entries_copied.value(), copied_before);
+}
+
+TEST(Fork, CowProtectsWritablePrivateInBoth)
+{
+    Kernel kernel(kernelParams(false));
+    const Ccid g = kernel.createGroup("g", 1);
+    Process *parent = kernel.createProcess(g, "parent");
+    kernel.mmapAnon(*parent, kHeap, 1 << 20, true, false);
+    kernel.handleFault(*parent, kHeap, AccessType::Write);
+
+    // Pre-fork: parent's page is writable.
+    EXPECT_TRUE(translationsOf(kernel, *parent).at(kHeap).writable());
+
+    Process *child = kernel.fork(*parent, "child");
+    const auto pe = translationsOf(kernel, *parent).at(kHeap);
+    const auto ce = translationsOf(kernel, *child).at(kHeap);
+    EXPECT_FALSE(pe.writable());
+    EXPECT_TRUE(pe.cow());
+    EXPECT_FALSE(ce.writable());
+    EXPECT_TRUE(ce.cow());
+    EXPECT_EQ(pe.frame(), ce.frame());
+}
+
+TEST(Fork, CowWriteDiverges)
+{
+    Kernel kernel(kernelParams(false));
+    const Ccid g = kernel.createGroup("g", 1);
+    Process *parent = kernel.createProcess(g, "parent");
+    kernel.mmapAnon(*parent, kHeap, 1 << 20, true, false);
+    kernel.handleFault(*parent, kHeap, AccessType::Write);
+    Process *child = kernel.fork(*parent, "child");
+
+    EXPECT_EQ(kernel.handleFault(*child, kHeap, AccessType::Write).kind,
+              FaultKind::Cow);
+
+    const auto pe = translationsOf(kernel, *parent).at(kHeap);
+    const auto ce = translationsOf(kernel, *child).at(kHeap);
+    EXPECT_NE(pe.frame(), ce.frame());
+    EXPECT_TRUE(ce.writable());
+    EXPECT_FALSE(ce.cow());
+    // Parent still CoW-protected on the original frame.
+    EXPECT_TRUE(pe.cow());
+    EXPECT_EQ(kernel.cow_faults.value(), 1u);
+}
+
+TEST(Fork, SecondForkSharesSameTableInBabelFish)
+{
+    Kernel kernel(kernelParams(true));
+    const Ccid g = kernel.createGroup("g", 1);
+    Process *parent = kernel.createProcess(g, "parent");
+    MappedObject *lib = kernel.createFile("lib", 1 << 20);
+    lib->preload(kernel.frames());
+    kernel.mmapObject(*parent, lib, kLib, 1 << 20, 0, false, true, false);
+    kernel.handleFault(*parent, kLib, AccessType::Read);
+
+    kernel.fork(*parent, "c1");
+    kernel.fork(*parent, "c2");
+
+    PageTablePage *leaf = kernel.tableByFrame(
+        kernel.tableByFrame(
+                  kernel.tableByFrame(parent->pgd()->entryFor(kLib).frame())
+                      ->entryFor(kLib)
+                      .frame())
+            ->entryFor(kLib)
+            .frame());
+    EXPECT_EQ(leaf->sharers, 3u);
+}
+
+TEST(Fork, DivergedTableIsForkOnlyShared)
+{
+    // Parent CoW-writes before forking: children may share the table,
+    // but a fresh process demand-faulting the same region must not.
+    Kernel kernel(kernelParams(true));
+    const Ccid g = kernel.createGroup("g", 1);
+    Process *parent = kernel.createProcess(g, "parent");
+    MappedObject *file = kernel.createFile("data", 1 << 20);
+    file->preload(kernel.frames());
+    kernel.mmapObject(*parent, file, kLib, 1 << 20, 0, /*writable=*/true,
+                      false, /*shared=*/false);
+    kernel.handleFault(*parent, kLib, AccessType::Write); // diverges
+
+    Process *child = kernel.fork(*parent, "child");
+    // Parent and child share the diverged table.
+    const auto pt = translationsOf(kernel, *parent);
+    const auto ct = translationsOf(kernel, *child);
+    EXPECT_EQ(pt.at(kLib).frame(), ct.at(kLib).frame());
+
+    // A fresh group member mapping the same file gets its own table.
+    Process *fresh = kernel.createProcess(g, "fresh");
+    kernel.mmapObject(*fresh, file, kLib, 1 << 20, 0, true, false, false);
+    kernel.handleFault(*fresh, kLib, AccessType::Read);
+    const auto ft = translationsOf(kernel, *fresh);
+    bool dummy = false;
+    EXPECT_EQ(ft.at(kLib).frame(),
+              file->frameFor(0, kernel.frames(), dummy));
+    EXPECT_NE(ft.at(kLib).frame(), pt.at(kLib).frame());
+}
+
+TEST(Fork, WorkCyclesScaleWithMappedState)
+{
+    Kernel kernel(kernelParams(false));
+    const Ccid g = kernel.createGroup("g", 1);
+    Process *small = kernel.createProcess(g, "small");
+    Process *large = kernel.createProcess(g, "large");
+    MappedObject *lib = kernel.createFile("lib", 8 << 20);
+    lib->preload(kernel.frames());
+    kernel.mmapObject(*small, lib, kLib, 8 << 20, 0, false, true, false);
+    kernel.mmapObject(*large, lib, kLib, 8 << 20, 0, false, true, false);
+    kernel.handleFault(*small, kLib, AccessType::Read);
+    for (int i = 0; i < 1024; ++i)
+        kernel.handleFault(*large, kLib + i * basePageBytes,
+                           AccessType::Read);
+
+    Cycles small_work = 0, large_work = 0;
+    kernel.fork(*small, "sc", small_work);
+    kernel.fork(*large, "lc", large_work);
+    EXPECT_GT(large_work, small_work);
+}
+
+TEST(Fork, BabelFishForkIsCheaper)
+{
+    // The same pre-faulted parent forks much faster under BabelFish
+    // because leaf tables are shared, not copied.
+    auto measure = [](bool babelfish) {
+        Kernel kernel(kernelParams(babelfish));
+        const Ccid g = kernel.createGroup("g", 1);
+        Process *parent = kernel.createProcess(g, "parent");
+        MappedObject *lib = kernel.createFile("lib", 8 << 20);
+        lib->preload(kernel.frames());
+        kernel.mmapObject(*parent, lib, 0x7f00'0000'0000ull, 8 << 20, 0,
+                          false, true, false);
+        for (int i = 0; i < 2048; ++i)
+            kernel.handleFault(*parent,
+                               0x7f00'0000'0000ull + i * basePageBytes,
+                               AccessType::Read);
+        Cycles work = 0;
+        kernel.fork(*parent, "child", work);
+        return work;
+    };
+    EXPECT_LT(measure(true), measure(false));
+}
+
+TEST(Fork, HugePagesCowAtFork)
+{
+    Kernel kernel(kernelParams(false));
+    const Ccid g = kernel.createGroup("g", 1);
+    Process *parent = kernel.createProcess(g, "parent");
+    kernel.mmapAnon(*parent, kHeap, 4ull << 20, true); // THP
+    kernel.handleFault(*parent, kHeap, AccessType::Write);
+    Process *child = kernel.fork(*parent, "child");
+
+    const auto ce = translationsOf(kernel, *child).at(kHeap);
+    EXPECT_TRUE(ce.huge());
+    EXPECT_TRUE(ce.cow());
+
+    EXPECT_EQ(kernel.handleFault(*child, kHeap, AccessType::Write).kind,
+              FaultKind::Cow);
+    const auto pe2 = translationsOf(kernel, *parent).at(kHeap);
+    const auto ce2 = translationsOf(kernel, *child).at(kHeap);
+    EXPECT_NE(pe2.frame(), ce2.frame());
+}

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * BabelFish page-table entry sharing (paper §III-B, §IV-B): demand
+ * attach to group-shared leaf tables, the single-minor-fault property,
+ * sharer counters, signature gating, and teardown.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm/kernel.hh"
+
+using namespace bf;
+using namespace bf::vm;
+
+namespace
+{
+
+KernelParams
+params(bool babelfish = true)
+{
+    KernelParams p;
+    p.babelfish = babelfish;
+    p.aslr = AslrMode::Sw;
+    p.mem_frames = 1 << 22;
+    return p;
+}
+
+constexpr Addr kVa = 0x7f00'0000'0000ull;
+
+struct TwoProcs
+{
+    Kernel kernel;
+    Ccid ccid;
+    Process *a;
+    Process *b;
+    MappedObject *file;
+
+    explicit TwoProcs(bool babelfish = true, bool writable = false,
+                      bool shared_mapping = false)
+        : kernel(params(babelfish))
+    {
+        ccid = kernel.createGroup("g", 1);
+        a = kernel.createProcess(ccid, "a");
+        b = kernel.createProcess(ccid, "b");
+        file = kernel.createFile("f", 8 << 20);
+        file->preload(kernel.frames());
+        kernel.mmapObject(*a, file, kVa, 8 << 20, 0, writable, false,
+                          shared_mapping);
+        kernel.mmapObject(*b, file, kVa, 8 << 20, 0, writable, false,
+                          shared_mapping);
+    }
+
+    PageTablePage *
+    leafOf(Process *p, Addr va)
+    {
+        Kernel &k = kernel;
+        PageTablePage *pud = k.tableByFrame(p->pgd()->entryFor(va).frame());
+        if (!pud)
+            return nullptr;
+        PageTablePage *pmd = k.tableByFrame(pud->entryFor(va).frame());
+        if (!pmd)
+            return nullptr;
+        return k.tableByFrame(pmd->entryFor(va).frame());
+    }
+};
+
+} // namespace
+
+TEST(Sharing, SecondProcessAttachesToSharedTable)
+{
+    TwoProcs t;
+    EXPECT_EQ(t.kernel.handleFault(*t.a, kVa, AccessType::Read).kind,
+              FaultKind::Minor);
+    // B's first touch of the already-filled page: no pte work at all.
+    EXPECT_EQ(t.kernel.handleFault(*t.b, kVa, AccessType::Read).kind,
+              FaultKind::SharedInstall);
+    EXPECT_EQ(t.leafOf(t.a, kVa), t.leafOf(t.b, kVa));
+    EXPECT_EQ(t.leafOf(t.a, kVa)->sharers, 2u);
+    EXPECT_TRUE(t.leafOf(t.a, kVa)->group_shared);
+    EXPECT_EQ(t.kernel.minor_faults.value(), 1u); // ONE fault for both
+    EXPECT_EQ(t.kernel.shared_installs.value(), 1u);
+}
+
+TEST(Sharing, AttachWithUnfilledPageIsMinorIntoSharedTable)
+{
+    TwoProcs t;
+    t.kernel.handleFault(*t.a, kVa, AccessType::Read);
+    // B touches a different page of the same 2 MB region.
+    EXPECT_EQ(t.kernel.handleFault(*t.b, kVa + 0x5000,
+                                   AccessType::Read).kind,
+              FaultKind::Minor);
+    EXPECT_EQ(t.leafOf(t.a, kVa), t.leafOf(t.b, kVa));
+    // Now A can use B's fill without any fault.
+    EXPECT_EQ(t.kernel.handleFault(*t.a, kVa + 0x5000,
+                                   AccessType::Read).kind,
+              FaultKind::None);
+}
+
+TEST(Sharing, SharedEntriesAreNotOwned)
+{
+    TwoProcs t;
+    t.kernel.handleFault(*t.a, kVa, AccessType::Read);
+    PageTablePage *pud =
+        t.kernel.tableByFrame(t.a->pgd()->entryFor(kVa).frame());
+    PageTablePage *pmd = t.kernel.tableByFrame(pud->entryFor(kVa).frame());
+    EXPECT_FALSE(pmd->entryFor(kVa).owned());
+    EXPECT_FALSE(pmd->entryFor(kVa).orpc());
+    EXPECT_FALSE(t.leafOf(t.a, kVa)->entryFor(kVa).owned());
+}
+
+TEST(Sharing, BaselineNeverShares)
+{
+    TwoProcs t(/*babelfish=*/false);
+    t.kernel.handleFault(*t.a, kVa, AccessType::Read);
+    EXPECT_EQ(t.kernel.handleFault(*t.b, kVa, AccessType::Read).kind,
+              FaultKind::Minor);
+    EXPECT_NE(t.leafOf(t.a, kVa), t.leafOf(t.b, kVa));
+    EXPECT_EQ(t.kernel.minor_faults.value(), 2u); // one per process
+    EXPECT_EQ(t.kernel.shared_installs.value(), 0u);
+}
+
+TEST(Sharing, DifferentObjectsDoNotShare)
+{
+    Kernel kernel(params());
+    const Ccid g = kernel.createGroup("g", 1);
+    Process *a = kernel.createProcess(g, "a");
+    Process *b = kernel.createProcess(g, "b");
+    MappedObject *fa = kernel.createFile("fa", 1 << 20);
+    MappedObject *fb = kernel.createFile("fb", 1 << 20);
+    fa->preload(kernel.frames());
+    fb->preload(kernel.frames());
+    kernel.mmapObject(*a, fa, kVa, 1 << 20, 0, false, false, false);
+    kernel.mmapObject(*b, fb, kVa, 1 << 20, 0, false, false, false);
+
+    kernel.handleFault(*a, kVa, AccessType::Read);
+    EXPECT_EQ(kernel.handleFault(*b, kVa, AccessType::Read).kind,
+              FaultKind::Minor);
+    EXPECT_EQ(kernel.shared_installs.value(), 0u);
+}
+
+TEST(Sharing, DifferentPermissionsDoNotShare)
+{
+    Kernel kernel(params());
+    const Ccid g = kernel.createGroup("g", 1);
+    Process *a = kernel.createProcess(g, "a");
+    Process *b = kernel.createProcess(g, "b");
+    MappedObject *f = kernel.createFile("f", 1 << 20);
+    f->preload(kernel.frames());
+    kernel.mmapObject(*a, f, kVa, 1 << 20, 0, /*writable=*/false, false,
+                      false);
+    kernel.mmapObject(*b, f, kVa, 1 << 20, 0, /*writable=*/true, false,
+                      false);
+    kernel.handleFault(*a, kVa, AccessType::Read);
+    kernel.handleFault(*b, kVa, AccessType::Read);
+    EXPECT_EQ(kernel.shared_installs.value(), 0u);
+}
+
+TEST(Sharing, DifferentGroupsDoNotShare)
+{
+    Kernel kernel(params());
+    const Ccid g1 = kernel.createGroup("g1", 1);
+    const Ccid g2 = kernel.createGroup("g2", 2);
+    Process *a = kernel.createProcess(g1, "a");
+    Process *b = kernel.createProcess(g2, "b");
+    MappedObject *f = kernel.createFile("f", 1 << 20);
+    f->preload(kernel.frames());
+    kernel.mmapObject(*a, f, kVa, 1 << 20, 0, false, false, false);
+    kernel.mmapObject(*b, f, kVa, 1 << 20, 0, false, false, false);
+    kernel.handleFault(*a, kVa, AccessType::Read);
+    EXPECT_EQ(kernel.handleFault(*b, kVa, AccessType::Read).kind,
+              FaultKind::Minor);
+    EXPECT_EQ(kernel.shared_installs.value(), 0u);
+}
+
+TEST(Sharing, SoleAnonMapperStaysPrivate)
+{
+    Kernel kernel(params());
+    const Ccid g = kernel.createGroup("g", 1);
+    Process *a = kernel.createProcess(g, "a");
+    kernel.mmapAnon(*a, 0x0001'0000'0000ull, 1 << 20, true, false);
+    kernel.handleFault(*a, 0x0001'0000'0000ull, AccessType::Write);
+    // The table holding a single-mapper anon region is private, and its
+    // translation carries the Ownership bit.
+    PageTablePage *pud = kernel.tableByFrame(
+        a->pgd()->entryFor(0x0001'0000'0000ull).frame());
+    PageTablePage *pmd = kernel.tableByFrame(
+        pud->entryFor(0x0001'0000'0000ull).frame());
+    const Entry pmd_entry = pmd->entryFor(0x0001'0000'0000ull);
+    EXPECT_TRUE(pmd_entry.owned());
+    PageTablePage *leaf = kernel.tableByFrame(pmd_entry.frame());
+    EXPECT_FALSE(leaf->group_shared);
+    EXPECT_TRUE(leaf->entryFor(0x0001'0000'0000ull).owned());
+}
+
+TEST(Sharing, WritesToSharedMappingStayShared)
+{
+    // MAP_SHARED writable: writes hit the object; translations stay
+    // identical so the table remains fused.
+    TwoProcs t(true, /*writable=*/true, /*shared_mapping=*/true);
+    t.kernel.handleFault(*t.a, kVa, AccessType::Write);
+    EXPECT_EQ(t.kernel.handleFault(*t.b, kVa, AccessType::Write).kind,
+              FaultKind::SharedInstall);
+    EXPECT_EQ(t.leafOf(t.a, kVa), t.leafOf(t.b, kVa));
+    EXPECT_EQ(t.kernel.cow_faults.value(), 0u);
+}
+
+TEST(Sharing, ExitDecrementsSharersAndFrees)
+{
+    TwoProcs t;
+    t.kernel.handleFault(*t.a, kVa, AccessType::Read);
+    t.kernel.handleFault(*t.b, kVa, AccessType::Read);
+    PageTablePage *leaf = t.leafOf(t.a, kVa);
+    EXPECT_EQ(leaf->sharers, 2u);
+
+    t.kernel.exitProcess(*t.b);
+    EXPECT_EQ(leaf->sharers, 1u);
+    const auto freed_before = t.kernel.tables_freed.value();
+    t.kernel.exitProcess(*t.a);
+    EXPECT_GT(t.kernel.tables_freed.value(), freed_before);
+}
+
+TEST(Sharing, SharedTablesCountedOncePerProcessView)
+{
+    TwoProcs t;
+    t.kernel.handleFault(*t.a, kVa, AccessType::Read);
+    t.kernel.handleFault(*t.b, kVa, AccessType::Read);
+    // Each process sees PGD+PUD+PMD+PTE = 4 tables; the PTE table is the
+    // same physical page.
+    EXPECT_EQ(t.kernel.countTablePages(*t.a), 4u);
+    EXPECT_EQ(t.kernel.countTablePages(*t.b), 4u);
+    EXPECT_EQ(t.leafOf(t.a, kVa), t.leafOf(t.b, kVa));
+}
+
+TEST(Sharing, ManyRegionsManySharedTables)
+{
+    TwoProcs t;
+    // Touch 3 distinct 2 MB regions in both processes.
+    for (int r = 0; r < 3; ++r) {
+        const Addr va = kVa + r * (2ull << 20);
+        t.kernel.handleFault(*t.a, va, AccessType::Read);
+        t.kernel.handleFault(*t.b, va, AccessType::Read);
+    }
+    EXPECT_EQ(t.kernel.shared_installs.value(), 3u);
+    for (int r = 0; r < 3; ++r) {
+        const Addr va = kVa + r * (2ull << 20);
+        EXPECT_EQ(t.leafOf(t.a, va), t.leafOf(t.b, va));
+    }
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Tests for the MaskPage (paper Appendix, Fig. 13): pid_list ordering,
+ * the 32-writer capacity, per-pmd_t PC bitmasks and the ORPC derivation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm/mask_page.hh"
+
+using namespace bf;
+using namespace bf::vm;
+
+TEST(MaskPage, WritersGetSequentialBits)
+{
+    MaskPage mask(10, 0);
+    EXPECT_EQ(mask.addWriter(100), 0);
+    EXPECT_EQ(mask.addWriter(200), 1);
+    EXPECT_EQ(mask.addWriter(300), 2);
+    EXPECT_EQ(mask.writerCount(), 3u);
+}
+
+TEST(MaskPage, BitForFindsAssignedBit)
+{
+    MaskPage mask(10, 0);
+    mask.addWriter(100);
+    mask.addWriter(200);
+    EXPECT_EQ(mask.bitFor(100), 0);
+    EXPECT_EQ(mask.bitFor(200), 1);
+    EXPECT_EQ(mask.bitFor(999), -1);
+}
+
+TEST(MaskPage, ThirtyTwoWriterLimit)
+{
+    MaskPage mask(10, 0);
+    for (Pid pid = 1; pid <= 32; ++pid)
+        EXPECT_GE(mask.addWriter(pid), 0);
+    // The 33rd writer overflows (paper: the whole set must revert).
+    EXPECT_EQ(mask.addWriter(33), -1);
+    EXPECT_EQ(mask.writerCount(), 32u);
+}
+
+TEST(MaskPage, BitmasksPerPmdEntry)
+{
+    MaskPage mask(10, 0);
+    const int bit = mask.addWriter(100);
+    mask.setBit(5, bit);
+    EXPECT_EQ(mask.bitmask(5), 1u);
+    EXPECT_EQ(mask.bitmask(6), 0u);
+    EXPECT_TRUE(mask.orpc(5));
+    EXPECT_FALSE(mask.orpc(6));
+}
+
+TEST(MaskPage, BitmaskForAddress)
+{
+    const Addr region = 0x40000000; // 1 GB aligned
+    MaskPage mask(10, region);
+    mask.setBit(3, 7);
+    // pmd index 3 covers [region + 3*2MB, region + 4*2MB).
+    const Addr va = region + 3 * (2ull << 20) + 0x1234;
+    EXPECT_EQ(mask.bitmaskFor(va), 1u << 7);
+}
+
+TEST(MaskPage, MultipleBitsAccumulate)
+{
+    MaskPage mask(10, 0);
+    mask.setBit(0, 0);
+    mask.setBit(0, 3);
+    EXPECT_EQ(mask.bitmask(0), 0b1001u);
+}
+
+TEST(MaskPage, BitmaskPaddrLayout)
+{
+    MaskPage mask(10, 0);
+    // The hardware reads 4-byte bitmasks from the MaskPage frame.
+    EXPECT_EQ(mask.bitmaskPaddr(0), 10 * basePageBytes);
+    EXPECT_EQ(mask.bitmaskPaddr(5), 10 * basePageBytes + 20);
+}
+
+TEST(MaskPageDeath, DoubleAddPanics)
+{
+    MaskPage mask(10, 0);
+    mask.addWriter(100);
+    EXPECT_DEATH(mask.addWriter(100), "already in pid_list");
+}

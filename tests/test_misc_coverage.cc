@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Cross-cutting coverage: PWC reuse across processes under fused
+ * tables, stats-tree dump formatting, DRAM queueing monotonicity, cache
+ * write-back propagation, and MMU/TLB corner cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/mmu.hh"
+#include "mem/hierarchy.hh"
+#include "tlb/page_walk_cache.hh"
+#include "tlb/page_walker.hh"
+#include "vm/kernel.hh"
+
+using namespace bf;
+using namespace bf::vm;
+
+namespace
+{
+
+constexpr Addr kVa = 0x7f00'0000'0000ull;
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// PWC reuse across processes on one core (a BabelFish bonus effect: the
+// PWC is tagged by the physical address of the cached entry, so fused
+// upper tables alias across processes).
+// ---------------------------------------------------------------------
+
+TEST(PwcReuse, SharedLeafTableDoesNotAliasUpperLevels)
+{
+    // With default (leaf-level) sharing, the upper tables are private:
+    // process b's walk must MISS the PWC everywhere even after a's walk.
+    KernelParams kp;
+    kp.babelfish = true;
+    kp.aslr = AslrMode::Sw;
+    kp.mem_frames = 1 << 22;
+    Kernel kernel(kp);
+    mem::CacheHierarchy mem(mem::HierarchyParams{}, 1);
+    tlb::Pwc pwc(tlb::PwcParams{});
+    tlb::PageWalker walker(0, mem, kernel, pwc, true);
+
+    const Ccid g = kernel.createGroup("g", 1);
+    Process *parent = kernel.createProcess(g, "p");
+    MappedObject *f = kernel.createFile("f", 8 << 20);
+    f->preload(kernel.frames());
+    kernel.mmapObject(*parent, f, kVa, 8 << 20, 0, false, false, false);
+    kernel.handleFault(*parent, kVa, AccessType::Read);
+    Process *child = kernel.fork(*parent, "c");
+
+    walker.walk(*parent, kVa, AccessType::Read, 0);
+    const auto pwc_hits = pwc.hits.value();
+    walker.walk(*child, kVa, AccessType::Read, 100);
+    EXPECT_EQ(pwc.hits.value(), pwc_hits); // private PGD/PUD/PMD
+}
+
+TEST(PwcReuse, SharedPmdTableAliasesInPwc)
+{
+    // With max_share_level = 2 the PMD table is the same physical page
+    // for parent and child, so the child's walk reuses the parent's PWC
+    // entry for the PMD step.
+    KernelParams kp;
+    kp.babelfish = true;
+    kp.max_share_level = 2;
+    kp.aslr = AslrMode::Sw;
+    kp.mem_frames = 1 << 22;
+    Kernel kernel(kp);
+    mem::CacheHierarchy mem(mem::HierarchyParams{}, 1);
+    tlb::Pwc pwc(tlb::PwcParams{});
+    tlb::PageWalker walker(0, mem, kernel, pwc, true);
+
+    const Ccid g = kernel.createGroup("g", 1);
+    Process *parent = kernel.createProcess(g, "p");
+    MappedObject *f = kernel.createFile("f", 8 << 20);
+    f->preload(kernel.frames());
+    kernel.mmapObject(*parent, f, kVa, 8 << 20, 0, false, /*exec=*/true,
+                      false);
+    kernel.handleFault(*parent, kVa, AccessType::Read);
+    Process *child = kernel.fork(*parent, "c");
+
+    walker.walk(*parent, kVa, AccessType::Read, 0);
+    const auto pwc_hits = pwc.hits.value();
+    walker.walk(*child, kVa, AccessType::Read, 100);
+    // The PMD-entry read (inside the shared PMD table) hits the PWC.
+    EXPECT_GT(pwc.hits.value(), pwc_hits);
+}
+
+// ---------------------------------------------------------------------
+// Stats formatting
+// ---------------------------------------------------------------------
+
+TEST(StatsDump, AveragesAndLatenciesRender)
+{
+    stats::StatGroup root("sys");
+    stats::Average avg;
+    avg.sample(2);
+    avg.sample(4);
+    root.addStat("ipc", &avg);
+    stats::LatencyTracker lat;
+    lat.sample(10);
+    lat.sample(20);
+    root.addStat("req", &lat);
+
+    std::ostringstream oss;
+    root.dump(oss);
+    const std::string text = oss.str();
+    EXPECT_NE(text.find("sys.ipc.mean 3"), std::string::npos);
+    EXPECT_NE(text.find("sys.ipc.count 2"), std::string::npos);
+    EXPECT_NE(text.find("sys.req.p95 20"), std::string::npos);
+}
+
+TEST(StatsDump, TreeOrderIsParentThenChildren)
+{
+    stats::StatGroup root("sys");
+    stats::StatGroup child("core0", &root);
+    stats::Scalar a, b;
+    root.addStat("a", &a);
+    child.addStat("b", &b);
+    std::ostringstream oss;
+    root.dump(oss);
+    const std::string text = oss.str();
+    EXPECT_LT(text.find("sys.a"), text.find("sys.core0.b"));
+}
+
+// ---------------------------------------------------------------------
+// DRAM properties
+// ---------------------------------------------------------------------
+
+TEST(DramProperty, QueueingNeverNegative)
+{
+    mem::Dram dram(mem::DramParams{});
+    Rng rng(5);
+    Cycles now = 0;
+    for (int i = 0; i < 5000; ++i) {
+        const Cycles lat = dram.access(rng.below(1ull << 30), now,
+                                       rng.chance(0.3));
+        EXPECT_GE(lat, mem::DramParams{}.t_cas);
+        now += rng.below(200);
+    }
+    EXPECT_EQ(dram.reads.value() + dram.writes.value(), 5000u);
+    EXPECT_EQ(dram.row_hits.value() + dram.row_misses.value() +
+                  dram.row_conflicts.value(),
+              5000u);
+}
+
+TEST(DramProperty, SequentialStreamGetsRowHits)
+{
+    mem::Dram dram(mem::DramParams{});
+    Cycles now = 0;
+    for (Addr a = 0; a < (1 << 20); a += 64) {
+        dram.access(a, now, false);
+        now += 500; // no queueing
+    }
+    // Sequential lines within a row hit the open row.
+    EXPECT_GT(dram.row_hits.value(), dram.row_misses.value());
+}
+
+// ---------------------------------------------------------------------
+// Cache hierarchy details
+// ---------------------------------------------------------------------
+
+TEST(HierarchyDetail, DirtyL1EvictionWritesBack)
+{
+    mem::CacheHierarchy h(mem::HierarchyParams{}, 1);
+    // Dirty a line, then evict it by filling its set.
+    h.access(0, 0x0, AccessType::Write, 0);
+    const auto sets = mem::CacheParams{"l1d", 32 * 1024, 8, 64, 2}.numSets();
+    for (unsigned i = 1; i <= 8; ++i)
+        h.access(0, i * sets * 64, AccessType::Read, 100 * i);
+    EXPECT_GE(h.l1d(0).writebacks.value(), 1u);
+}
+
+TEST(HierarchyDetail, InstructionAndDataDoNotConflictInL1)
+{
+    mem::CacheHierarchy h(mem::HierarchyParams{}, 1);
+    h.access(0, 0x4000, AccessType::Ifetch, 0);
+    h.access(0, 0x8000, AccessType::Read, 10);
+    EXPECT_TRUE(h.l1i(0).contains(0x4000));
+    EXPECT_FALSE(h.l1i(0).contains(0x8000));
+    EXPECT_TRUE(h.l1d(0).contains(0x8000));
+    EXPECT_FALSE(h.l1d(0).contains(0x4000));
+}
+
+// ---------------------------------------------------------------------
+// MMU corner cases
+// ---------------------------------------------------------------------
+
+TEST(MmuCorner, BaselineIgnoresProcessBit)
+{
+    // In a baseline MMU the BabelFish metadata must be inert: two
+    // processes with identical mappings never alias.
+    core::SystemParams sp = core::SystemParams::baseline();
+    sp.kernel.mem_frames = 1 << 22;
+    Kernel kernel(sp.kernel);
+    mem::CacheHierarchy mem(sp.mem, 1);
+    core::Mmu mmu(0, sp.mmu, mem, kernel);
+    kernel.setTlbInvalidateHook(
+        [&](const TlbInvalidate &inv) { mmu.applyInvalidate(inv); });
+
+    const Ccid g = kernel.createGroup("g", 1);
+    Process *a = kernel.createProcess(g, "a");
+    Process *b = kernel.createProcess(g, "b");
+    MappedObject *f = kernel.createFile("f", 4 << 20);
+    f->preload(kernel.frames());
+    kernel.mmapObject(*a, f, kVa, 4 << 20, 0, true, false, false);
+    kernel.mmapObject(*b, f, kVa, 4 << 20, 0, true, false, false);
+
+    // a writes (private frame); b reads (clean frame): b must never see
+    // a's private frame through the TLB.
+    const auto ta = mmu.translate(*a, kVa, AccessType::Write, 0);
+    const auto tb = mmu.translate(*b, kVa, AccessType::Read, 100);
+    EXPECT_NE(ta.paddr, tb.paddr);
+}
+
+TEST(MmuCorner, WriteAfterReadUpgradesThroughCow)
+{
+    core::SystemParams sp = core::SystemParams::babelfish();
+    sp.kernel.mem_frames = 1 << 22;
+    sp.mmu.aslr = sp.kernel.aslr;
+    Kernel kernel(sp.kernel);
+    mem::CacheHierarchy mem(sp.mem, 1);
+    core::Mmu mmu(0, sp.mmu, mem, kernel);
+    kernel.setTlbInvalidateHook(
+        [&](const TlbInvalidate &inv) { mmu.applyInvalidate(inv); });
+
+    const Ccid g = kernel.createGroup("g", 1);
+    Process *p = kernel.createProcess(g, "p");
+    MappedObject *f = kernel.createFile("f", 4 << 20);
+    f->preload(kernel.frames());
+    kernel.mmapObject(*p, f, kVa, 4 << 20, 0, true, false, false);
+
+    const auto r = mmu.translate(*p, kVa, AccessType::Read, 0);
+    const auto w = mmu.translate(*p, kVa, AccessType::Write, 100);
+    const auto r2 = mmu.translate(*p, kVa, AccessType::Read, 200);
+    EXPECT_NE(r.paddr, w.paddr); // CoW copied
+    EXPECT_EQ(w.paddr, r2.paddr); // reads now see the private copy
+}
+
+TEST(MmuCorner, TranslationSizeReportedCorrectly)
+{
+    core::SystemParams sp = core::SystemParams::babelfish();
+    sp.kernel.mem_frames = 1 << 22;
+    Kernel kernel(sp.kernel);
+    mem::CacheHierarchy mem(sp.mem, 1);
+    core::Mmu mmu(0, sp.mmu, mem, kernel);
+    kernel.setTlbInvalidateHook(
+        [&](const TlbInvalidate &inv) { mmu.applyInvalidate(inv); });
+
+    const Ccid g = kernel.createGroup("g", 1);
+    Process *p = kernel.createProcess(g, "p");
+    kernel.mmapAnon(*p, 0x0001'0000'0000ull, 4ull << 20, true); // THP
+    MappedObject *f = kernel.createFile("f", 1 << 20);
+    f->preload(kernel.frames());
+    kernel.mmapObject(*p, f, kVa, 1 << 20, 0, false, false, false);
+
+    EXPECT_EQ(mmu.translate(*p, 0x0001'0000'0000ull, AccessType::Write,
+                            0).size,
+              PageSize::Size2M);
+    EXPECT_EQ(mmu.translate(*p, kVa, AccessType::Read, 100).size,
+              PageSize::Size4K);
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for MappedObject: lazy page-cache behaviour, major-fault
+ * semantics, preloading, and huge-chunk materialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm/frame_allocator.hh"
+#include "vm/object.hh"
+
+using namespace bf;
+using namespace bf::vm;
+
+TEST(Object, LazyMaterialization)
+{
+    FrameAllocator alloc(1000);
+    MappedObject obj(1, "file", 16 * basePageBytes, true);
+    EXPECT_FALSE(obj.resident(0));
+    bool major = false;
+    const Ppn f = obj.frameFor(0, alloc, major);
+    EXPECT_NE(f, 0u);
+    EXPECT_TRUE(obj.resident(0));
+    EXPECT_FALSE(obj.resident(1));
+}
+
+TEST(Object, FileFirstTouchIsMajor)
+{
+    FrameAllocator alloc(1000);
+    MappedObject obj(1, "file", 4 * basePageBytes, true);
+    bool major = false;
+    obj.frameFor(0, alloc, major);
+    EXPECT_TRUE(major);
+    obj.frameFor(0, alloc, major);
+    EXPECT_FALSE(major); // now in the page cache
+}
+
+TEST(Object, AnonFirstTouchIsMinor)
+{
+    FrameAllocator alloc(1000);
+    MappedObject obj(1, "anon", 4 * basePageBytes, false);
+    bool major = false;
+    obj.frameFor(0, alloc, major);
+    EXPECT_FALSE(major);
+}
+
+TEST(Object, StableFrames)
+{
+    FrameAllocator alloc(1000);
+    MappedObject obj(1, "file", 4 * basePageBytes, true);
+    bool major = false;
+    const Ppn a = obj.frameFor(2, alloc, major);
+    const Ppn b = obj.frameFor(2, alloc, major);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Object, PreloadSuppressesMajors)
+{
+    FrameAllocator alloc(1000);
+    MappedObject obj(1, "file", 8 * basePageBytes, true);
+    obj.preload(alloc);
+    bool major = false;
+    for (std::uint64_t i = 0; i < 8; ++i) {
+        EXPECT_TRUE(obj.resident(i));
+        obj.frameFor(i, alloc, major);
+        EXPECT_FALSE(major);
+    }
+}
+
+TEST(Object, MarkResidentSuppressesFutureMajors)
+{
+    FrameAllocator alloc(1000);
+    MappedObject obj(1, "file", 4 * basePageBytes, true);
+    obj.markResident();
+    bool major = false;
+    obj.frameFor(1, alloc, major);
+    EXPECT_FALSE(major);
+}
+
+TEST(Object, NumPagesRoundsUp)
+{
+    MappedObject obj(1, "x", basePageBytes + 1, false);
+    EXPECT_EQ(obj.numPages(), 2u);
+}
+
+TEST(Object, HugeChunkContiguous)
+{
+    FrameAllocator alloc(1 << 20);
+    MappedObject obj(1, "anon", 4ull << 20, false); // 2 huge chunks
+    bool major = false;
+    const Ppn base = obj.hugeFrameFor(0, alloc, major);
+    // All 512 pages of the chunk are contiguous from base.
+    for (std::uint64_t i = 0; i < 512; ++i) {
+        EXPECT_TRUE(obj.resident(i));
+        const Ppn f = obj.frameFor(i, alloc, major);
+        EXPECT_EQ(f, base + i);
+    }
+    EXPECT_FALSE(obj.resident(512)); // second chunk untouched
+}
+
+TEST(Object, HugeChunkIdempotent)
+{
+    FrameAllocator alloc(1 << 20);
+    MappedObject obj(1, "anon", 2ull << 20, false);
+    bool major = false;
+    const Ppn a = obj.hugeFrameFor(0, alloc, major);
+    const Ppn b = obj.hugeFrameFor(0, alloc, major);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Object, HugeFileChunkIsMajor)
+{
+    FrameAllocator alloc(1 << 20);
+    MappedObject obj(1, "file", 2ull << 20, true);
+    bool major = false;
+    obj.hugeFrameFor(0, alloc, major);
+    EXPECT_TRUE(major);
+}

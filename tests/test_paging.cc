@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for the x86-64 entry layout and address decomposition, including
+ * the BabelFish O/ORPC bit placement (paper Fig. 5(a): bits 10 and 9).
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm/paging.hh"
+
+using namespace bf;
+using namespace bf::vm;
+
+TEST(Paging, EntryDefaultsClear)
+{
+    Entry e;
+    EXPECT_FALSE(e.present());
+    EXPECT_FALSE(e.writable());
+    EXPECT_FALSE(e.owned());
+    EXPECT_FALSE(e.orpc());
+    EXPECT_EQ(e.frame(), 0u);
+}
+
+TEST(Paging, BitPositionsMatchHardware)
+{
+    Entry e;
+    e.set(bits::present);
+    EXPECT_EQ(e.raw & 1ull, 1ull);
+    e.clear();
+    e.set(bits::writable);
+    EXPECT_EQ(e.raw, 1ull << 1);
+    e.clear();
+    e.set(bits::accessed);
+    EXPECT_EQ(e.raw, 1ull << 5);
+    e.clear();
+    e.set(bits::dirty);
+    EXPECT_EQ(e.raw, 1ull << 6);
+    e.clear();
+    e.set(bits::huge);
+    EXPECT_EQ(e.raw, 1ull << 7);
+}
+
+TEST(Paging, BabelFishBitsNineAndTen)
+{
+    // Paper Fig. 5(a): ORPC uses bit 9, Ownership uses bit 10 of pmd_t.
+    Entry e;
+    e.set(bits::orpc);
+    EXPECT_EQ(e.raw, 1ull << 9);
+    e.clear();
+    e.set(bits::owned);
+    EXPECT_EQ(e.raw, 1ull << 10);
+}
+
+TEST(Paging, FrameRoundTrip)
+{
+    Entry e;
+    e.setFrame(0x123456);
+    EXPECT_EQ(e.frame(), 0x123456u);
+    // Flags survive frame updates.
+    e.set(bits::present);
+    e.setFrame(0xabcdef);
+    EXPECT_EQ(e.frame(), 0xabcdefu);
+    EXPECT_TRUE(e.present());
+}
+
+TEST(Paging, FrameMaskLimits)
+{
+    Entry e;
+    // The frame field is bits 12..51: 40 bits of PPN.
+    e.setFrame(0xff'ffff'ffffull);
+    EXPECT_EQ(e.frame(), 0xff'ffff'ffffull);
+    EXPECT_FALSE(e.present()); // low bits untouched
+    EXPECT_FALSE(e.noExec());  // high bits untouched
+}
+
+TEST(Paging, ClearBit)
+{
+    Entry e;
+    e.set(bits::writable);
+    e.set(bits::writable, false);
+    EXPECT_FALSE(e.writable());
+}
+
+TEST(Paging, PermBitsSignature)
+{
+    Entry a, b;
+    a.set(bits::present);
+    a.set(bits::writable);
+    b.set(bits::writable);
+    b.set(bits::accessed);
+    b.set(bits::dirty);
+    // present/accessed/dirty are not permissions.
+    EXPECT_EQ(a.permBits(), b.permBits());
+    b.set(bits::nx);
+    EXPECT_NE(a.permBits(), b.permBits());
+    b.set(bits::nx, false);
+    b.set(bits::cow);
+    EXPECT_NE(a.permBits(), b.permBits());
+}
+
+TEST(Paging, TableIndexDecomposition)
+{
+    // The canonical x86-64 example: index fields are 9 bits each.
+    const Addr va = (0x1ffull << 39) | (0x0aaull << 30) |
+                    (0x055ull << 21) | (0x123ull << 12) | 0x456;
+    EXPECT_EQ(tableIndex(va, LevelPgd), 0x1ffu);
+    EXPECT_EQ(tableIndex(va, LevelPud), 0x0aau);
+    EXPECT_EQ(tableIndex(va, LevelPmd), 0x055u);
+    EXPECT_EQ(tableIndex(va, LevelPte), 0x123u);
+}
+
+TEST(Paging, EntrySpans)
+{
+    EXPECT_EQ(entrySpan(LevelPte), 4096u);
+    EXPECT_EQ(entrySpan(LevelPmd), 2ull << 20);
+    EXPECT_EQ(entrySpan(LevelPud), 1ull << 30);
+    EXPECT_EQ(entrySpan(LevelPgd), 512ull << 30);
+}
+
+TEST(Paging, TableSpans)
+{
+    EXPECT_EQ(tableSpan(LevelPte), 2ull << 20);  // a PTE table maps 2 MB
+    EXPECT_EQ(tableSpan(LevelPmd), 1ull << 30);  // a PMD table maps 1 GB
+    EXPECT_EQ(tableSpan(LevelPud), 512ull << 30);
+}
+
+TEST(Paging, TableAndEntryBase)
+{
+    const Addr va = 0x7f12'3456'7abcull;
+    EXPECT_EQ(entryBase(va, LevelPte), va & ~0xfffull);
+    EXPECT_EQ(entryBase(va, LevelPmd), va & ~((2ull << 20) - 1));
+    EXPECT_EQ(tableBase(va, LevelPte), va & ~((2ull << 20) - 1));
+    EXPECT_EQ(tableBase(va, LevelPmd), va & ~((1ull << 30) - 1));
+}
+
+TEST(Paging, LeafPageSizes)
+{
+    EXPECT_EQ(leafPageSize(LevelPte), PageSize::Size4K);
+    EXPECT_EQ(leafPageSize(LevelPmd), PageSize::Size2M);
+    EXPECT_EQ(leafPageSize(LevelPud), PageSize::Size1G);
+}
+
+TEST(Paging, EntryIsEightBytes)
+{
+    EXPECT_EQ(sizeof(Entry), 8u);
+    EXPECT_EQ(bytesPerEntry, 8u);
+    EXPECT_EQ(entriesPerTable, 512u);
+}

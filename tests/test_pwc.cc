@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Page-walk cache tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tlb/page_walk_cache.hh"
+#include "vm/paging.hh"
+
+using namespace bf;
+using namespace bf::tlb;
+using namespace bf::vm;
+
+TEST(Pwc, MissThenHit)
+{
+    Pwc pwc(PwcParams{});
+    EXPECT_FALSE(pwc.lookup(LevelPgd, 0x1000));
+    pwc.fill(LevelPgd, 0x1000);
+    EXPECT_TRUE(pwc.lookup(LevelPgd, 0x1000));
+    EXPECT_EQ(pwc.hits.value(), 1u);
+    EXPECT_EQ(pwc.misses.value(), 1u);
+}
+
+TEST(Pwc, LevelsAreIsolated)
+{
+    Pwc pwc(PwcParams{});
+    pwc.fill(LevelPgd, 0x1000);
+    EXPECT_FALSE(pwc.lookup(LevelPud, 0x1000));
+    EXPECT_FALSE(pwc.lookup(LevelPmd, 0x1000));
+    EXPECT_TRUE(pwc.lookup(LevelPgd, 0x1000));
+}
+
+TEST(Pwc, DistinctEntriesCoexist)
+{
+    Pwc pwc(PwcParams{});
+    pwc.fill(LevelPmd, 0x1000);
+    pwc.fill(LevelPmd, 0x2008);
+    EXPECT_TRUE(pwc.lookup(LevelPmd, 0x1000));
+    EXPECT_TRUE(pwc.lookup(LevelPmd, 0x2008));
+}
+
+TEST(Pwc, LruEviction)
+{
+    PwcParams p;
+    p.entries_per_level = 4;
+    p.assoc = 4; // one set
+    Pwc pwc(p);
+    pwc.fill(LevelPgd, 0 * 8);
+    pwc.fill(LevelPgd, 1 * 8);
+    pwc.fill(LevelPgd, 2 * 8);
+    pwc.fill(LevelPgd, 3 * 8);
+    pwc.lookup(LevelPgd, 0); // refresh
+    pwc.fill(LevelPgd, 4 * 8);
+    EXPECT_TRUE(pwc.lookup(LevelPgd, 0));
+    EXPECT_FALSE(pwc.lookup(LevelPgd, 1 * 8));
+}
+
+TEST(Pwc, InvalidateEntry)
+{
+    Pwc pwc(PwcParams{});
+    pwc.fill(LevelPud, 0x4000);
+    pwc.invalidate(0x4000);
+    EXPECT_FALSE(pwc.lookup(LevelPud, 0x4000));
+}
+
+TEST(Pwc, InvalidateAll)
+{
+    Pwc pwc(PwcParams{});
+    pwc.fill(LevelPgd, 0x1000);
+    pwc.fill(LevelPud, 0x2000);
+    pwc.fill(LevelPmd, 0x3000);
+    pwc.invalidateAll();
+    EXPECT_FALSE(pwc.lookup(LevelPgd, 0x1000));
+    EXPECT_FALSE(pwc.lookup(LevelPud, 0x2000));
+    EXPECT_FALSE(pwc.lookup(LevelPmd, 0x3000));
+}
+
+TEST(PwcDeath, PteLevelRejected)
+{
+    Pwc pwc(PwcParams{});
+    EXPECT_DEATH(pwc.lookup(LevelPte, 0x1000), "PGD/PUD/PMD");
+}

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Page-walker tests: walk latency composition through the cache
+ * hierarchy, PWC reuse, fault statuses, huge-page walks, A/D updates,
+ * O-PC gathering and the parallel MaskPage fetch — including the paper's
+ * Fig. 7 property that a second container's walk hits in the shared L3.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/hierarchy.hh"
+#include "tlb/page_walk_cache.hh"
+#include "tlb/page_walker.hh"
+#include "vm/kernel.hh"
+
+using namespace bf;
+using namespace bf::tlb;
+using namespace bf::vm;
+
+namespace
+{
+
+constexpr Addr kVa = 0x7f00'0000'0000ull;
+
+struct Fixture
+{
+    Kernel kernel;
+    mem::CacheHierarchy mem;
+    Pwc pwc0, pwc1;
+    PageWalker walker0, walker1;
+    Ccid ccid;
+    Process *a;
+    Process *b;
+    MappedObject *file;
+
+    explicit Fixture(bool babelfish = true)
+        : kernel([&] {
+              KernelParams p;
+              p.babelfish = babelfish;
+              p.aslr = AslrMode::Sw;
+              p.mem_frames = 1 << 22;
+              return p;
+          }()),
+          mem(mem::HierarchyParams{}, 2), pwc0(PwcParams{}),
+          pwc1(PwcParams{}),
+          walker0(0, mem, kernel, pwc0, babelfish),
+          walker1(1, mem, kernel, pwc1, babelfish)
+    {
+        ccid = kernel.createGroup("g", 1);
+        a = kernel.createProcess(ccid, "a");
+        b = kernel.createProcess(ccid, "b");
+        file = kernel.createFile("f", 64 << 20);
+        file->preload(kernel.frames());
+        kernel.mmapObject(*a, file, kVa, 64 << 20, 0, true, false, false);
+        kernel.mmapObject(*b, file, kVa, 64 << 20, 0, true, false, false);
+    }
+};
+
+} // namespace
+
+TEST(Walker, NotPresentBeforeFault)
+{
+    Fixture f;
+    const auto r = f.walker0.walk(*f.a, kVa, AccessType::Read, 0);
+    EXPECT_EQ(r.status, WalkStatus::NotPresent);
+}
+
+TEST(Walker, SuccessfulWalkAfterFault)
+{
+    Fixture f;
+    f.kernel.handleFault(*f.a, kVa, AccessType::Read);
+    const auto r = f.walker0.walk(*f.a, kVa, AccessType::Read, 0);
+    ASSERT_EQ(r.status, WalkStatus::Ok);
+    EXPECT_EQ(r.fill.vpn, kVa >> 12);
+    EXPECT_EQ(r.fill.size, PageSize::Size4K);
+    bool dummy = false;
+    EXPECT_EQ(r.fill.ppn, f.file->frameFor(0, f.kernel.frames(), dummy));
+    EXPECT_FALSE(r.fill.writable); // private-writable fills CoW
+    EXPECT_TRUE(r.fill.cow);
+}
+
+TEST(Walker, ColdWalkTouchesMemoryFourTimes)
+{
+    Fixture f;
+    f.kernel.handleFault(*f.a, kVa, AccessType::Read);
+    f.mem.flushAll();
+    f.pwc0.invalidateAll();
+    const auto steps_before = f.walker0.mem_steps.value();
+    const auto r = f.walker0.walk(*f.a, kVa, AccessType::Read, 0);
+    EXPECT_EQ(f.walker0.mem_steps.value() - steps_before, 4u);
+    // Four DRAM round trips dominate: a cold walk is expensive.
+    EXPECT_GT(r.cycles, 4 * 40u);
+}
+
+TEST(Walker, PwcServesUpperLevelsOnSecondWalk)
+{
+    Fixture f;
+    f.kernel.handleFault(*f.a, kVa, AccessType::Read);
+    f.kernel.handleFault(*f.a, kVa + 0x1000, AccessType::Read);
+    f.walker0.walk(*f.a, kVa, AccessType::Read, 0);
+    const auto pwc_before = f.walker0.pwc_steps.value();
+    const auto r = f.walker0.walk(*f.a, kVa + 0x1000, AccessType::Read, 0);
+    // PGD/PUD/PMD all hit the PWC; only the pte_t goes to memory.
+    EXPECT_EQ(f.walker0.pwc_steps.value() - pwc_before, 3u);
+    EXPECT_EQ(r.status, WalkStatus::Ok);
+}
+
+TEST(Walker, SecondWalkIsCheaper)
+{
+    Fixture f;
+    f.kernel.handleFault(*f.a, kVa, AccessType::Read);
+    const auto cold = f.walker0.walk(*f.a, kVa, AccessType::Read, 0);
+    const auto warm = f.walker0.walk(*f.a, kVa, AccessType::Read, 1000);
+    EXPECT_LT(warm.cycles, cold.cycles);
+}
+
+TEST(Walker, SharedTableWalkHitsL3FromOtherCore)
+{
+    // Paper Fig. 7: container B's walk on core 1 reuses the pte_t lines
+    // container A's walk on core 0 brought into the shared L3, and B
+    // takes no fault.
+    Fixture f(true);
+    f.kernel.handleFault(*f.a, kVa, AccessType::Read);
+    f.walker0.walk(*f.a, kVa, AccessType::Read, 0);
+
+    // B attaches to the shared table (its PMD chain is private and needs
+    // a fault to install the pointer).
+    ASSERT_EQ(f.kernel.handleFault(*f.b, kVa, AccessType::Read).kind,
+              FaultKind::SharedInstall);
+    const auto l3_hits_before = f.mem.l3().hits.value();
+    const auto r = f.walker1.walk(*f.b, kVa, AccessType::Read, 0);
+    EXPECT_EQ(r.status, WalkStatus::Ok);
+    // The pte_t access on core 1 hit in the shared L3.
+    EXPECT_GT(f.mem.l3().hits.value(), l3_hits_before);
+}
+
+TEST(Walker, BaselineWalkMissesL3ForOtherProcess)
+{
+    Fixture f(false);
+    f.kernel.handleFault(*f.a, kVa, AccessType::Read);
+    f.kernel.handleFault(*f.b, kVa, AccessType::Read);
+    f.walker0.walk(*f.a, kVa, AccessType::Read, 0);
+    // B's tables are different physical pages: its pte_t access cannot
+    // reuse A's cached lines.
+    const auto l3_before = f.mem.l3().hits.value();
+    f.walker1.walk(*f.b, kVa, AccessType::Read, 0);
+    EXPECT_EQ(f.mem.l3().hits.value(), l3_before);
+}
+
+TEST(Walker, CowWriteStatus)
+{
+    Fixture f;
+    f.kernel.handleFault(*f.a, kVa, AccessType::Read); // CoW fill
+    const auto r = f.walker0.walk(*f.a, kVa, AccessType::Write, 0);
+    EXPECT_EQ(r.status, WalkStatus::CowWrite);
+}
+
+TEST(Walker, SetsAccessedAndDirty)
+{
+    Fixture f;
+    f.kernel.handleFault(*f.a, kVa, AccessType::Read);
+    f.kernel.clearAccessedBits();
+    f.walker0.walk(*f.a, kVa, AccessType::Read, 0);
+    bool accessed = false;
+    f.kernel.forEachTranslation(*f.a, [&](Addr va, const Entry &e,
+                                          PageSize) {
+        if (va == kVa)
+            accessed = e.accessed();
+    });
+    EXPECT_TRUE(accessed);
+}
+
+TEST(Walker, HugePageWalkIsThreeLevels)
+{
+    Fixture f;
+    const Addr heap = 0x0001'0000'0000ull;
+    f.kernel.mmapAnon(*f.a, heap, 4ull << 20, true); // THP
+    f.kernel.handleFault(*f.a, heap, AccessType::Write);
+    f.mem.flushAll();
+    f.pwc0.invalidateAll();
+    const auto steps_before = f.walker0.mem_steps.value();
+    const auto r = f.walker0.walk(*f.a, heap, AccessType::Write, 0);
+    ASSERT_EQ(r.status, WalkStatus::Ok);
+    EXPECT_EQ(r.fill.size, PageSize::Size2M);
+    EXPECT_EQ(r.fill.vpn, heap >> 21);
+    EXPECT_EQ(f.walker0.mem_steps.value() - steps_before, 3u);
+}
+
+TEST(Walker, GathersOwnershipFromPrivatizedTable)
+{
+    Fixture f(true);
+    f.kernel.handleFault(*f.a, kVa, AccessType::Read);
+    f.kernel.handleFault(*f.b, kVa, AccessType::Read);
+    f.kernel.handleFault(*f.b, kVa, AccessType::Write); // B privatizes
+
+    const auto rb = f.walker1.walk(*f.b, kVa, AccessType::Read, 0);
+    ASSERT_EQ(rb.status, WalkStatus::Ok);
+    EXPECT_TRUE(rb.fill.owned);
+
+    // A's walk sees a shared entry with ORPC set and fetches the mask.
+    const auto fetches_before = f.walker0.mask_fetches.value();
+    const auto ra = f.walker0.walk(*f.a, kVa, AccessType::Read, 0);
+    ASSERT_EQ(ra.status, WalkStatus::Ok);
+    EXPECT_FALSE(ra.fill.owned);
+    EXPECT_TRUE(ra.fill.orpc);
+    EXPECT_EQ(ra.fill.pc_bitmask, 1u); // B holds bit 0
+    EXPECT_EQ(f.walker0.mask_fetches.value(), fetches_before + 1);
+}
+
+TEST(Walker, NoMaskFetchWithoutOrpc)
+{
+    Fixture f(true);
+    f.kernel.handleFault(*f.a, kVa, AccessType::Read);
+    const auto r = f.walker0.walk(*f.a, kVa, AccessType::Read, 0);
+    ASSERT_EQ(r.status, WalkStatus::Ok);
+    EXPECT_FALSE(r.fill.owned);
+    EXPECT_FALSE(r.fill.orpc);
+    EXPECT_EQ(f.walker0.mask_fetches.value(), 0u);
+}
+
+TEST(Walker, BaselineGathersNoOpc)
+{
+    Fixture f(false);
+    f.kernel.handleFault(*f.a, kVa, AccessType::Read);
+    const auto r = f.walker0.walk(*f.a, kVa, AccessType::Read, 0);
+    ASSERT_EQ(r.status, WalkStatus::Ok);
+    EXPECT_FALSE(r.fill.owned);
+    EXPECT_FALSE(r.fill.orpc);
+    EXPECT_EQ(r.fill.pc_bitmask, 0u);
+}
+
+TEST(Walker, WalkCountsAccumulate)
+{
+    Fixture f;
+    f.kernel.handleFault(*f.a, kVa, AccessType::Read);
+    f.walker0.walk(*f.a, kVa, AccessType::Read, 0);
+    f.walker0.walk(*f.a, kVa, AccessType::Read, 0);
+    EXPECT_EQ(f.walker0.walks.value(), 2u);
+    EXPECT_GT(f.walker0.walk_cycles.value(), 0u);
+}

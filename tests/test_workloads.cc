@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Workload tests: the YCSB generator, container images, application
+ * builders, and the shape of the generated reference streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/system.hh"
+#include "workloads/apps.hh"
+#include "workloads/function.hh"
+#include "workloads/ycsb.hh"
+
+using namespace bf;
+using namespace bf::workloads;
+
+// ---------------------------------------------------------------------
+// YCSB
+// ---------------------------------------------------------------------
+
+TEST(Ycsb, ZipfianBounds)
+{
+    Rng rng(1);
+    ZipfianGenerator zipf(1000);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(zipf.next(rng), 1000u);
+}
+
+TEST(Ycsb, ZipfianSkewFavorsHead)
+{
+    Rng rng(2);
+    ZipfianGenerator zipf(10000, 0.99);
+    std::uint64_t head = 0;
+    for (int i = 0; i < 20000; ++i)
+        head += zipf.next(rng) < 100;
+    // With theta=0.99 the top-1% of records draws a large share.
+    EXPECT_GT(head, 20000u * 0.35);
+}
+
+TEST(Ycsb, ZipfianLowThetaIsFlatter)
+{
+    Rng rng(3);
+    ZipfianGenerator skewed(10000, 0.99);
+    ZipfianGenerator flat(10000, 0.2);
+    std::uint64_t skewed_head = 0, flat_head = 0;
+    for (int i = 0; i < 20000; ++i) {
+        skewed_head += skewed.next(rng) < 100;
+        flat_head += flat.next(rng) < 100;
+    }
+    EXPECT_GT(skewed_head, flat_head);
+}
+
+TEST(Ycsb, ClientDeterministicPerSeed)
+{
+    YcsbClient a(1000, 0.05, 7), b(1000, 0.05, 7), c(1000, 0.05, 8);
+    bool all_same_c = true;
+    for (int i = 0; i < 50; ++i) {
+        const auto oa = a.next();
+        const auto ob = b.next();
+        const auto oc = c.next();
+        EXPECT_EQ(oa.record, ob.record);
+        EXPECT_EQ(oa.is_update, ob.is_update);
+        all_same_c &= oa.record == oc.record;
+    }
+    EXPECT_FALSE(all_same_c);
+}
+
+TEST(Ycsb, UpdateFractionRespected)
+{
+    YcsbClient client(1000, 0.2, 9);
+    int updates = 0;
+    for (int i = 0; i < 5000; ++i)
+        updates += client.next().is_update;
+    EXPECT_NEAR(updates / 5000.0, 0.2, 0.03);
+}
+
+// ---------------------------------------------------------------------
+// Profiles and builders
+// ---------------------------------------------------------------------
+
+TEST(Profiles, PaperWorkloadsPresent)
+{
+    const auto serving = AppProfile::dataServing();
+    ASSERT_EQ(serving.size(), 3u);
+    EXPECT_EQ(serving[0].name, "arangodb");
+    EXPECT_EQ(serving[1].name, "mongodb");
+    EXPECT_EQ(serving[2].name, "httpd");
+    const auto compute = AppProfile::compute();
+    ASSERT_EQ(compute.size(), 2u);
+    EXPECT_EQ(compute[0].name, "graphchi");
+    EXPECT_EQ(compute[1].name, "fio");
+}
+
+TEST(Profiles, MongoAndArangoDisableThp)
+{
+    EXPECT_FALSE(AppProfile::mongodb().thp_friendly);
+    EXPECT_FALSE(AppProfile::arangodb().thp_friendly);
+    EXPECT_TRUE(AppProfile::fio().thp_friendly);
+}
+
+TEST(Builder, BuildsGroupWithContainers)
+{
+    vm::KernelParams kp;
+    kp.mem_frames = 1 << 22;
+    vm::Kernel kernel(kp);
+    const auto profile = AppProfile::httpd();
+    auto app = buildApp(kernel, profile, 2, 42);
+
+    EXPECT_EQ(app.containers.size(), 2u);
+    EXPECT_NE(app.runtime, nullptr);
+    EXPECT_GT(app.bringup_work, 0u);
+    // Group membership: runtime + 2 containers.
+    EXPECT_EQ(kernel.groupMembers(app.ccid).size(), 3u);
+
+    // Every container maps image + dataset + buffers.
+    for (auto *proc : app.containers) {
+        EXPECT_NE(proc->findVma(app.image->binaryBase()), nullptr);
+        EXPECT_NE(proc->findVma(AppInstance::datasetBase()), nullptr);
+        EXPECT_NE(proc->findVma(AppInstance::bufferBase()), nullptr);
+    }
+}
+
+TEST(Builder, ContainersShareDatasetObject)
+{
+    vm::KernelParams kp;
+    kp.mem_frames = 1 << 22;
+    vm::Kernel kernel(kp);
+    auto app = buildApp(kernel, AppProfile::mongodb(), 2, 42);
+    const auto *v0 =
+        app.containers[0]->findVma(AppInstance::datasetBase());
+    const auto *v1 =
+        app.containers[1]->findVma(AppInstance::datasetBase());
+    EXPECT_EQ(v0->object, v1->object);
+    EXPECT_EQ(v0->object, app.dataset);
+}
+
+TEST(Builder, BuffersArePrivateObjects)
+{
+    vm::KernelParams kp;
+    kp.mem_frames = 1 << 22;
+    vm::Kernel kernel(kp);
+    auto app = buildApp(kernel, AppProfile::httpd(), 2, 42);
+    const auto *v0 = app.containers[0]->findVma(AppInstance::bufferBase());
+    const auto *v1 = app.containers[1]->findVma(AppInstance::bufferBase());
+    EXPECT_NE(v0->object, v1->object);
+}
+
+TEST(Builder, ThpFollowsProfile)
+{
+    vm::KernelParams kp;
+    kp.mem_frames = 1 << 22;
+    vm::Kernel kernel(kp);
+    auto fio = buildApp(kernel, AppProfile::fio(), 1, 42);
+    auto mongo = buildApp(kernel, AppProfile::mongodb(), 1, 43);
+    EXPECT_TRUE(
+        fio.containers[0]->findVma(AppInstance::bufferBase())->hugeBacked());
+    EXPECT_FALSE(
+        mongo.containers[0]->findVma(AppInstance::bufferBase())->hugeBacked());
+}
+
+// ---------------------------------------------------------------------
+// Thread streams stay within mapped memory
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Pull refs from a thread and verify each lands in a VMA. */
+void
+checkStream(core::Thread &thread, unsigned n)
+{
+    for (unsigned i = 0; i < n; ++i) {
+        core::MemRef ref;
+        if (!thread.next(ref))
+            break;
+        const vm::Vma *vma = thread.process()->findVma(ref.va);
+        ASSERT_NE(vma, nullptr)
+            << thread.name() << " ref " << i << " va 0x" << std::hex
+            << ref.va;
+        if (ref.type == AccessType::Write) {
+            EXPECT_TRUE(vma->writable);
+        }
+        if (ref.type == AccessType::Ifetch) {
+            EXPECT_TRUE(vma->exec);
+        }
+        EXPECT_GT(ref.instrs, 0u);
+    }
+}
+
+} // namespace
+
+class StreamValidity : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(StreamValidity, AllRefsMapped)
+{
+    vm::KernelParams kp;
+    kp.mem_frames = 1 << 22;
+    vm::Kernel kernel(kp);
+    AppProfile profile;
+    const std::string which = GetParam();
+    if (which == "mongodb")
+        profile = AppProfile::mongodb();
+    else if (which == "arangodb")
+        profile = AppProfile::arangodb();
+    else if (which == "httpd")
+        profile = AppProfile::httpd();
+    else if (which == "graphchi")
+        profile = AppProfile::graphchi();
+    else
+        profile = AppProfile::fio();
+
+    auto app = buildApp(kernel, profile, 2, 42);
+    auto threads = makeAppThreads(app, 1);
+    for (auto &thread : threads)
+        checkStream(*thread, 3000);
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, StreamValidity,
+                         ::testing::Values("mongodb", "arangodb", "httpd",
+                                           "graphchi", "fio"));
+
+TEST(Stream, MixesIfetchAndData)
+{
+    vm::KernelParams kp;
+    kp.mem_frames = 1 << 22;
+    vm::Kernel kernel(kp);
+    auto app = buildApp(kernel, AppProfile::httpd(), 1, 42);
+    auto threads = makeAppThreads(app, 1);
+    unsigned ifetch = 0, data = 0;
+    for (unsigned i = 0; i < 2000; ++i) {
+        core::MemRef ref;
+        threads[0]->next(ref);
+        (isIfetch(ref.type) ? ifetch : data)++;
+    }
+    const double frac = static_cast<double>(ifetch) / (ifetch + data);
+    EXPECT_NEAR(frac, AppProfile::httpd().code_ref_fraction, 0.08);
+}
+
+TEST(Stream, DeterministicPerSeed)
+{
+    auto collect = [](std::uint64_t seed) {
+        vm::KernelParams kp;
+        kp.mem_frames = 1 << 22;
+        vm::Kernel kernel(kp);
+        auto app = buildApp(kernel, AppProfile::httpd(), 1, 42);
+        auto threads = makeAppThreads(app, seed);
+        std::vector<Addr> vas;
+        for (int i = 0; i < 500; ++i) {
+            core::MemRef ref;
+            threads[0]->next(ref);
+            vas.push_back(ref.va);
+        }
+        return vas;
+    };
+    EXPECT_EQ(collect(1), collect(1));
+    EXPECT_NE(collect(1), collect(2));
+}
+
+// ---------------------------------------------------------------------
+// Functions
+// ---------------------------------------------------------------------
+
+TEST(Faas, GroupBuilds)
+{
+    vm::KernelParams kp;
+    kp.mem_frames = 1 << 22;
+    vm::Kernel kernel(kp);
+    auto group = buildFaasGroup(kernel, FunctionProfile::all(), 42);
+    EXPECT_EQ(group.containers.size(), 3u);
+    EXPECT_GT(group.bringup_work, 0u);
+    // Function inputs share one object across containers (paper: partial
+    // overlap in accessed data pages).
+    const auto *i0 = group.containers[0]->findVma(functionInputBase());
+    const auto *i1 = group.containers[1]->findVma(functionInputBase());
+    EXPECT_EQ(i0->object, i1->object);
+    // Function code differs per container.
+    const auto *c0 = group.containers[0]->findVma(functionCodeBase());
+    const auto *c1 = group.containers[1]->findVma(functionCodeBase());
+    EXPECT_NE(c0->object, c1->object);
+}
+
+TEST(Faas, FunctionRunsToCompletion)
+{
+    core::SystemParams params = core::SystemParams::babelfish();
+    params.num_cores = 1;
+    params.kernel.mem_frames = 1 << 22;
+    core::System sys(params);
+
+    auto profiles = FunctionProfile::all();
+    for (auto &p : profiles) {
+        p.input_bytes = 1 << 20; // keep the test fast
+        p.bringup_read_bytes = 1 << 20;
+        p.bringup_cow_pages = 8;
+    }
+    auto group = buildFaasGroup(sys.kernel(), profiles, 42);
+
+    std::vector<std::unique_ptr<FunctionThread>> threads;
+    for (unsigned i = 0; i < 3; ++i) {
+        threads.push_back(std::make_unique<FunctionThread>(
+            group.profiles[i], group.containers[i], /*sparse=*/false,
+            100 + i));
+        sys.addThread(0, threads.back().get());
+    }
+    sys.runUntilFinished(msToCycles(500));
+
+    for (auto &thread : threads) {
+        EXPECT_TRUE(thread->finished());
+        EXPECT_GT(thread->bringupCycles(), 0u);
+        EXPECT_GT(thread->execCycles(), 0u);
+        EXPECT_GT(thread->totalCycles(), thread->execCycles());
+    }
+}
+
+TEST(Faas, SparseTouchesMorePagesPerRef)
+{
+    vm::KernelParams kp;
+    kp.mem_frames = 1 << 22;
+    vm::Kernel kernel(kp);
+    auto hash = FunctionProfile::hash();
+    hash.bringup_read_bytes = 64 << 10; // reach Exec within the sample
+    hash.bringup_cow_pages = 4;
+    auto group = buildFaasGroup(kernel, {hash}, 42);
+
+    auto count_pages = [&](bool sparse) {
+        FunctionThread thread(group.profiles[0], group.containers[0],
+                              sparse, 5);
+        std::set<Addr> input_pages;
+        unsigned input_refs = 0;
+        for (int i = 0; i < 5000; ++i) {
+            core::MemRef ref;
+            if (!thread.next(ref))
+                break;
+            thread.completed(ref, i); // drive phase transitions
+            if (ref.va >= functionInputBase() &&
+                ref.va < functionInputBase() + (64ull << 20)) {
+                input_pages.insert(ref.va >> 12);
+                ++input_refs;
+            }
+        }
+        return input_refs ? static_cast<double>(input_pages.size()) /
+                                input_refs
+                          : 0.0;
+    };
+    // Sparse: fewer refs per page => higher pages/ref ratio.
+    EXPECT_GT(count_pages(true), 2 * count_pages(false));
+}
