@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bringup.dir/bench_bringup.cc.o"
+  "CMakeFiles/bench_bringup.dir/bench_bringup.cc.o.d"
+  "bench_bringup"
+  "bench_bringup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bringup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10a_mpki.dir/bench_fig10a_mpki.cc.o"
+  "CMakeFiles/bench_fig10a_mpki.dir/bench_fig10a_mpki.cc.o.d"
+  "bench_fig10a_mpki"
+  "bench_fig10a_mpki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10a_mpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_larger_tlb.dir/bench_larger_tlb.cc.o"
+  "CMakeFiles/bench_larger_tlb.dir/bench_larger_tlb.cc.o.d"
+  "bench_larger_tlb"
+  "bench_larger_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_larger_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

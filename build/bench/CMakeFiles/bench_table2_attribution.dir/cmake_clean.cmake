@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_attribution.dir/bench_table2_attribution.cc.o"
+  "CMakeFiles/bench_table2_attribution.dir/bench_table2_attribution.cc.o.d"
+  "bench_table2_attribution"
+  "bench_table2_attribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_attribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_cacti.dir/bench_table3_cacti.cc.o"
+  "CMakeFiles/bench_table3_cacti.dir/bench_table3_cacti.cc.o.d"
+  "bench_table3_cacti"
+  "bench_table3_cacti.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_cacti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

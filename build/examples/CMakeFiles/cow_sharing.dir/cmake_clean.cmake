@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cow_sharing.dir/cow_sharing.cpp.o"
+  "CMakeFiles/cow_sharing.dir/cow_sharing.cpp.o.d"
+  "cow_sharing"
+  "cow_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cow_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

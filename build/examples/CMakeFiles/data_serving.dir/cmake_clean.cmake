@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_serving.dir/data_serving.cpp.o"
+  "CMakeFiles/data_serving.dir/data_serving.cpp.o.d"
+  "data_serving"
+  "data_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faas_functions.dir/faas_functions.cpp.o"
+  "CMakeFiles/faas_functions.dir/faas_functions.cpp.o.d"
+  "faas_functions"
+  "faas_functions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faas_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

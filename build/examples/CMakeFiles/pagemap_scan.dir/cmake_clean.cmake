@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagemap_scan.dir/pagemap_scan.cpp.o"
+  "CMakeFiles/pagemap_scan.dir/pagemap_scan.cpp.o.d"
+  "pagemap_scan"
+  "pagemap_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagemap_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

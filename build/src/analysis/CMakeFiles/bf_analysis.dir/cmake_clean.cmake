@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_analysis.dir/cacti_lite.cc.o"
+  "CMakeFiles/bf_analysis.dir/cacti_lite.cc.o.d"
+  "CMakeFiles/bf_analysis.dir/pagemap.cc.o"
+  "CMakeFiles/bf_analysis.dir/pagemap.cc.o.d"
+  "libbf_analysis.a"
+  "libbf_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

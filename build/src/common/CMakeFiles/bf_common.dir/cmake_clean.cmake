@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_common.dir/logging.cc.o"
+  "CMakeFiles/bf_common.dir/logging.cc.o.d"
+  "CMakeFiles/bf_common.dir/stats.cc.o"
+  "CMakeFiles/bf_common.dir/stats.cc.o.d"
+  "libbf_common.a"
+  "libbf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_core.dir/core.cc.o"
+  "CMakeFiles/bf_core.dir/core.cc.o.d"
+  "CMakeFiles/bf_core.dir/mmu.cc.o"
+  "CMakeFiles/bf_core.dir/mmu.cc.o.d"
+  "CMakeFiles/bf_core.dir/system.cc.o"
+  "CMakeFiles/bf_core.dir/system.cc.o.d"
+  "libbf_core.a"
+  "libbf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

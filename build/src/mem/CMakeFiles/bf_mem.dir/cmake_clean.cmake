@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_mem.dir/cache.cc.o"
+  "CMakeFiles/bf_mem.dir/cache.cc.o.d"
+  "CMakeFiles/bf_mem.dir/dram.cc.o"
+  "CMakeFiles/bf_mem.dir/dram.cc.o.d"
+  "CMakeFiles/bf_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/bf_mem.dir/hierarchy.cc.o.d"
+  "libbf_mem.a"
+  "libbf_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

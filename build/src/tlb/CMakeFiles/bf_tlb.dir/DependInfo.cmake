@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tlb/page_walk_cache.cc" "src/tlb/CMakeFiles/bf_tlb.dir/page_walk_cache.cc.o" "gcc" "src/tlb/CMakeFiles/bf_tlb.dir/page_walk_cache.cc.o.d"
+  "/root/repo/src/tlb/page_walker.cc" "src/tlb/CMakeFiles/bf_tlb.dir/page_walker.cc.o" "gcc" "src/tlb/CMakeFiles/bf_tlb.dir/page_walker.cc.o.d"
+  "/root/repo/src/tlb/tlb.cc" "src/tlb/CMakeFiles/bf_tlb.dir/tlb.cc.o" "gcc" "src/tlb/CMakeFiles/bf_tlb.dir/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/bf_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/bf_vm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

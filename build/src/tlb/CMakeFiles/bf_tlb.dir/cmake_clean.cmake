@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_tlb.dir/page_walk_cache.cc.o"
+  "CMakeFiles/bf_tlb.dir/page_walk_cache.cc.o.d"
+  "CMakeFiles/bf_tlb.dir/page_walker.cc.o"
+  "CMakeFiles/bf_tlb.dir/page_walker.cc.o.d"
+  "CMakeFiles/bf_tlb.dir/tlb.cc.o"
+  "CMakeFiles/bf_tlb.dir/tlb.cc.o.d"
+  "libbf_tlb.a"
+  "libbf_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

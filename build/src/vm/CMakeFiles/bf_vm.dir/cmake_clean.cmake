@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_vm.dir/aslr.cc.o"
+  "CMakeFiles/bf_vm.dir/aslr.cc.o.d"
+  "CMakeFiles/bf_vm.dir/kernel.cc.o"
+  "CMakeFiles/bf_vm.dir/kernel.cc.o.d"
+  "libbf_vm.a"
+  "libbf_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/apps.cc" "src/workloads/CMakeFiles/bf_workloads.dir/apps.cc.o" "gcc" "src/workloads/CMakeFiles/bf_workloads.dir/apps.cc.o.d"
+  "/root/repo/src/workloads/function.cc" "src/workloads/CMakeFiles/bf_workloads.dir/function.cc.o" "gcc" "src/workloads/CMakeFiles/bf_workloads.dir/function.cc.o.d"
+  "/root/repo/src/workloads/trace.cc" "src/workloads/CMakeFiles/bf_workloads.dir/trace.cc.o" "gcc" "src/workloads/CMakeFiles/bf_workloads.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/bf_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/bf_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/bf_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_workloads.dir/apps.cc.o"
+  "CMakeFiles/bf_workloads.dir/apps.cc.o.d"
+  "CMakeFiles/bf_workloads.dir/function.cc.o"
+  "CMakeFiles/bf_workloads.dir/function.cc.o.d"
+  "CMakeFiles/bf_workloads.dir/trace.cc.o"
+  "CMakeFiles/bf_workloads.dir/trace.cc.o.d"
+  "libbf_workloads.a"
+  "libbf_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

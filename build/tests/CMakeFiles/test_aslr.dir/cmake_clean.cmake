@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aslr.dir/test_aslr.cc.o"
+  "CMakeFiles/test_aslr.dir/test_aslr.cc.o.d"
+  "test_aslr"
+  "test_aslr.pdb"
+  "test_aslr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aslr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_huge_pages.dir/test_huge_pages.cc.o"
+  "CMakeFiles/test_huge_pages.dir/test_huge_pages.cc.o.d"
+  "test_huge_pages"
+  "test_huge_pages.pdb"
+  "test_huge_pages[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_huge_pages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_basic.dir/test_kernel_basic.cc.o"
+  "CMakeFiles/test_kernel_basic.dir/test_kernel_basic.cc.o.d"
+  "test_kernel_basic"
+  "test_kernel_basic.pdb"
+  "test_kernel_basic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_cow.dir/test_kernel_cow.cc.o"
+  "CMakeFiles/test_kernel_cow.dir/test_kernel_cow.cc.o.d"
+  "test_kernel_cow"
+  "test_kernel_cow.pdb"
+  "test_kernel_cow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_cow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_fork.dir/test_kernel_fork.cc.o"
+  "CMakeFiles/test_kernel_fork.dir/test_kernel_fork.cc.o.d"
+  "test_kernel_fork"
+  "test_kernel_fork.pdb"
+  "test_kernel_fork[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_fork.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_sharing.dir/test_kernel_sharing.cc.o"
+  "CMakeFiles/test_kernel_sharing.dir/test_kernel_sharing.cc.o.d"
+  "test_kernel_sharing"
+  "test_kernel_sharing.pdb"
+  "test_kernel_sharing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mask_page.dir/test_mask_page.cc.o"
+  "CMakeFiles/test_mask_page.dir/test_mask_page.cc.o.d"
+  "test_mask_page"
+  "test_mask_page.pdb"
+  "test_mask_page[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mask_page.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

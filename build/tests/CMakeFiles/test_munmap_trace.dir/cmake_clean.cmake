@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_munmap_trace.dir/test_munmap_trace.cc.o"
+  "CMakeFiles/test_munmap_trace.dir/test_munmap_trace.cc.o.d"
+  "test_munmap_trace"
+  "test_munmap_trace.pdb"
+  "test_munmap_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_munmap_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

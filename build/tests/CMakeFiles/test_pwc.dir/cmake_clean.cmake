@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pwc.dir/test_pwc.cc.o"
+  "CMakeFiles/test_pwc.dir/test_pwc.cc.o.d"
+  "test_pwc"
+  "test_pwc.pdb"
+  "test_pwc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pwc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_share_levels.dir/test_share_levels.cc.o"
+  "CMakeFiles/test_share_levels.dir/test_share_levels.cc.o.d"
+  "test_share_levels"
+  "test_share_levels.pdb"
+  "test_share_levels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_share_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

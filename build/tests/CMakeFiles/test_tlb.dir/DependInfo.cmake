@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_tlb.cc" "tests/CMakeFiles/test_tlb.dir/test_tlb.cc.o" "gcc" "tests/CMakeFiles/test_tlb.dir/test_tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/bf_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/bf_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/bf_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/bf_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/bf_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
