@@ -21,25 +21,39 @@ main()
 {
     bf::detail::setVerbose(false);
     const RunConfig cfg = RunConfig::fromEnv();
+    BenchReport report("bringup");
+    reportConfig(report, cfg);
+
+    FaasRunResult results[2];
+    std::vector<std::function<void()>> jobs;
+    for (int fish = 0; fish < 2; ++fish) {
+        jobs.push_back([&, fish] {
+            const auto params = fish ? core::SystemParams::babelfish()
+                                     : core::SystemParams::baseline();
+            results[fish] = runFaas(params, /*sparse=*/false, cfg);
+        });
+    }
+    runJobs(cfg, std::move(jobs));
 
     std::printf("§VII-C — Function container bring-up time\n");
     rule();
     std::printf("%-12s %14s %14s %14s\n", "config", "fork Kcyc",
                 "init Mcyc", "total Mcyc");
 
-    double totals[2] = {0, 0};
-    int idx = 0;
-    for (bool fish : {false, true}) {
-        const auto params = fish ? core::SystemParams::babelfish()
-                                 : core::SystemParams::baseline();
-        const auto r = runFaas(params, /*sparse=*/false, cfg);
-        std::printf("%-12s %14.1f %14.3f %14.3f\n",
-                    fish ? "BabelFish" : "Baseline", r.fork_work / 1e3,
-                    (r.bringup - r.fork_work) / 1e6, r.bringup / 1e6);
-        totals[idx++] = r.bringup;
+    for (int fish = 0; fish < 2; ++fish) {
+        const auto &r = results[fish];
+        const char *label = fish ? "BabelFish" : "Baseline";
+        std::printf("%-12s %14.1f %14.3f %14.3f\n", label,
+                    r.fork_work / 1e3, (r.bringup - r.fork_work) / 1e6,
+                    r.bringup / 1e6);
+        report.metric(std::string(label) + ".bringup_cycles", r.bringup);
+        report.metric(std::string(label) + ".fork_cycles", r.fork_work);
+        report.addRun(fish ? "babelfish" : "baseline", r.artifacts);
     }
     rule();
-    std::printf("bring-up time reduction: %.1f%%   (paper: 8%%)\n",
-                reduction(totals[0], totals[1]));
+    const double red = reduction(results[0].bringup, results[1].bringup);
+    std::printf("bring-up time reduction: %.1f%%   (paper: 8%%)\n", red);
+    report.metric("bringup_reduction_pct", red);
+    report.write();
     return 0;
 }

@@ -18,6 +18,41 @@ main()
 {
     bf::detail::setVerbose(false);
     const RunConfig cfg = RunConfig::fromEnv();
+    BenchReport report("fig10a_mpki");
+    reportConfig(report, cfg);
+
+    std::vector<workloads::AppProfile> apps;
+    for (auto p : workloads::AppProfile::dataServing())
+        apps.push_back(p);
+    for (auto p : workloads::AppProfile::compute())
+        apps.push_back(p);
+
+    std::vector<AppRunResult> app_base(apps.size());
+    std::vector<AppRunResult> app_fish(apps.size());
+    FaasRunResult faas_base[2], faas_fish[2];
+
+    std::vector<std::function<void()>> jobs;
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        jobs.push_back([&, i] {
+            app_base[i] =
+                runApp(apps[i], core::SystemParams::baseline(), cfg);
+        });
+        jobs.push_back([&, i] {
+            app_fish[i] =
+                runApp(apps[i], core::SystemParams::babelfish(), cfg);
+        });
+    }
+    for (int s = 0; s < 2; ++s) {
+        jobs.push_back([&, s] {
+            faas_base[s] =
+                runFaas(core::SystemParams::baseline(), s == 1, cfg);
+        });
+        jobs.push_back([&, s] {
+            faas_fish[s] =
+                runFaas(core::SystemParams::babelfish(), s == 1, cfg);
+        });
+    }
+    runJobs(cfg, std::move(jobs));
 
     std::printf("Fig. 10a — L2 TLB MPKI reduction under BabelFish\n");
     rule();
@@ -36,30 +71,24 @@ main()
         dsum += reduction(db, df);
         isum += reduction(ib, if_);
         ++count;
+        report.metric(name + ".data_mpki_reduction_pct",
+                      reduction(db, df));
+        report.metric(name + ".instr_mpki_reduction_pct",
+                      reduction(ib, if_));
     };
 
-    std::vector<workloads::AppProfile> apps;
-    for (auto p : workloads::AppProfile::dataServing())
-        apps.push_back(p);
-    for (auto p : workloads::AppProfile::compute())
-        apps.push_back(p);
-
-    for (const auto &profile : apps) {
-        const auto base =
-            runApp(profile, core::SystemParams::baseline(), cfg);
-        const auto fish =
-            runApp(profile, core::SystemParams::babelfish(), cfg);
-        row(profile.name, base.data_mpki, fish.data_mpki,
-            base.instr_mpki, fish.instr_mpki);
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        row(apps[i].name, app_base[i].data_mpki, app_fish[i].data_mpki,
+            app_base[i].instr_mpki, app_fish[i].instr_mpki);
+        report.addRun(apps[i].name + ".baseline", app_base[i].artifacts);
+        report.addRun(apps[i].name + ".babelfish", app_fish[i].artifacts);
     }
-
-    for (bool sparse : {false, true}) {
-        const auto base =
-            runFaas(core::SystemParams::baseline(), sparse, cfg);
-        const auto fish =
-            runFaas(core::SystemParams::babelfish(), sparse, cfg);
-        row(sparse ? "fn-sparse" : "fn-dense", base.data_mpki,
-            fish.data_mpki, base.instr_mpki, fish.instr_mpki);
+    for (int s = 0; s < 2; ++s) {
+        const std::string label = s ? "fn-sparse" : "fn-dense";
+        row(label, faas_base[s].data_mpki, faas_fish[s].data_mpki,
+            faas_base[s].instr_mpki, faas_fish[s].instr_mpki);
+        report.addRun(label + ".baseline", faas_base[s].artifacts);
+        report.addRun(label + ".babelfish", faas_fish[s].artifacts);
     }
 
     rule();
@@ -67,5 +96,8 @@ main()
                 dsum / count, isum / count);
     std::printf("(paper: data serving −66%% data / −96%% instruction; "
                 "functions see smaller reductions)\n");
+    report.metric("mean.data_mpki_reduction_pct", dsum / count);
+    report.metric("mean.instr_mpki_reduction_pct", isum / count);
+    report.write();
     return 0;
 }

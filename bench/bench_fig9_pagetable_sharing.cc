@@ -23,6 +23,13 @@ using namespace bfbench;
 namespace
 {
 
+/** One scan's result plus its observability output. */
+struct ScanResult
+{
+    analysis::PagemapStats stats;
+    RunArtifacts artifacts;
+};
+
 void
 printRow(const char *name, const analysis::PagemapStats &s)
 {
@@ -44,12 +51,14 @@ printRow(const char *name, const analysis::PagemapStats &s)
 }
 
 /** Steady-state scan of one containerized app (baseline kernel). */
-analysis::PagemapStats
+ScanResult
 scanApp(const workloads::AppProfile &profile, const RunConfig &cfg)
 {
     core::SystemParams params = core::SystemParams::baseline();
     params.num_cores = 2;
     core::System sys(params);
+    if (cfg.sampleInterval())
+        sys.enableSampling(cfg.sampleInterval());
 
     // Two containers of the app (paper: pairs of containers).
     auto app = workloads::buildApp(sys.kernel(), profile, 2, cfg.seed);
@@ -65,17 +74,20 @@ scanApp(const workloads::AppProfile &profile, const RunConfig &cfg)
 
     std::vector<const vm::Process *> procs(app.containers.begin(),
                                            app.containers.end());
-    return analysis::scanGroup(sys.kernel(), procs);
+    return { analysis::scanGroup(sys.kernel(), procs),
+             captureArtifacts(sys) };
 }
 
 /** Steady-state scan of the three functions. */
-analysis::PagemapStats
+ScanResult
 scanFunctions(const RunConfig &cfg)
 {
     core::SystemParams params = core::SystemParams::baseline();
     params.num_cores = 1;
     params.core.quantum = msToCycles(1);
     core::System sys(params);
+    if (cfg.sampleInterval())
+        sys.enableSampling(cfg.sampleInterval());
 
     auto group = workloads::buildFaasGroup(
         sys.kernel(), workloads::FunctionProfile::all(), cfg.seed);
@@ -90,7 +102,8 @@ scanFunctions(const RunConfig &cfg)
 
     std::vector<const vm::Process *> procs(group.containers.begin(),
                                            group.containers.end());
-    return analysis::scanGroup(sys.kernel(), procs);
+    return { analysis::scanGroup(sys.kernel(), procs),
+             captureArtifacts(sys) };
 }
 
 } // namespace
@@ -100,6 +113,22 @@ main()
 {
     bf::detail::setVerbose(false);
     const RunConfig cfg = RunConfig::fromEnv();
+    BenchReport report("fig9_pagetable_sharing");
+    reportConfig(report, cfg);
+
+    std::vector<workloads::AppProfile> apps;
+    for (auto p : workloads::AppProfile::dataServing())
+        apps.push_back(p);
+    for (auto p : workloads::AppProfile::compute())
+        apps.push_back(p);
+
+    std::vector<ScanResult> scans(apps.size());
+    ScanResult fn_scan;
+    std::vector<std::function<void()>> jobs;
+    for (std::size_t i = 0; i < apps.size(); ++i)
+        jobs.push_back([&, i] { scans[i] = scanApp(apps[i], cfg); });
+    jobs.push_back([&] { fn_scan = scanFunctions(cfg); });
+    runJobs(cfg, std::move(jobs));
 
     std::printf("Fig. 9 — Page table sharing characterization\n");
     std::printf("(share of total pte_ts: shareable / unshareable / THP;"
@@ -109,31 +138,39 @@ main()
                 "share/unshare/thp", "active", "bf-active", "reduct");
     rule();
 
-    std::vector<workloads::AppProfile> apps;
-    for (auto p : workloads::AppProfile::dataServing())
-        apps.push_back(p);
-    for (auto p : workloads::AppProfile::compute())
-        apps.push_back(p);
-
     double share_sum = 0, reduct_sum = 0;
-    for (const auto &profile : apps) {
-        const auto stats = scanApp(profile, cfg);
-        printRow(profile.name.c_str(), stats);
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const auto &stats = scans[i].stats;
+        printRow(apps[i].name.c_str(), stats);
         share_sum += stats.shareableFraction();
         reduct_sum += stats.activeReduction();
+        report.metric(apps[i].name + ".shareable_pct",
+                      100.0 * stats.shareableFraction());
+        report.metric(apps[i].name + ".active_reduction_pct",
+                      100.0 * stats.activeReduction());
+        report.addRun(apps[i].name, scans[i].artifacts);
     }
     rule();
     std::printf("%-10s shareable %4.1f%% (paper: 53%%)   active-pte "
                 "reduction %4.1f%% (paper: ~30%%)\n",
                 "cont.avg", 100.0 * share_sum / apps.size(),
                 100.0 * reduct_sum / apps.size());
+    report.metric("containers.shareable_pct",
+                  100.0 * share_sum / apps.size());
+    report.metric("containers.active_reduction_pct",
+                  100.0 * reduct_sum / apps.size());
     rule();
 
-    const auto fn = scanFunctions(cfg);
-    printRow("functions", fn);
+    printRow("functions", fn_scan.stats);
     std::printf("%-10s shareable %4.1f%% (paper: ~94%%)  active-pte "
                 "reduction %4.1f%% (paper: 57%%)\n",
-                "faas", 100.0 * fn.shareableFraction(),
-                100.0 * fn.activeReduction());
+                "faas", 100.0 * fn_scan.stats.shareableFraction(),
+                100.0 * fn_scan.stats.activeReduction());
+    report.metric("functions.shareable_pct",
+                  100.0 * fn_scan.stats.shareableFraction());
+    report.metric("functions.active_reduction_pct",
+                  100.0 * fn_scan.stats.activeReduction());
+    report.addRun("functions", fn_scan.artifacts);
+    report.write();
     return 0;
 }

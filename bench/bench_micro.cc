@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/common.hh"
 #include "core/mmu.hh"
 #include "mem/hierarchy.hh"
 #include "tlb/page_walker.hh"
@@ -203,4 +204,32 @@ BENCHMARK(BM_ForkWarmProcess);
 
 } // namespace
 
-BENCHMARK_MAIN();
+/**
+ * Custom main: run the google-benchmark suite, then a short self-check
+ * System so this binary also emits a BENCH_micro.json in the common
+ * schema (timer results live in benchmark's own --benchmark_format
+ * output, not here).
+ */
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    bfbench::RunConfig cfg = bfbench::RunConfig::fromEnv();
+    cfg.num_cores = 1;
+    cfg.warm_ms = std::min(cfg.warm_ms, 1.0);
+    cfg.measure_ms = std::min(cfg.measure_ms, 2.0);
+    bfbench::BenchReport report("micro");
+    bfbench::reportConfig(report, cfg);
+    const auto r = bfbench::runApp(workloads::AppProfile::mongodb(),
+                                   core::SystemParams::babelfish(), cfg);
+    report.metric("selfcheck.mean_latency", r.mean_latency);
+    report.metric("selfcheck.data_mpki", r.data_mpki);
+    report.addRun("selfcheck.mongodb.babelfish", r.artifacts);
+    report.write();
+    return 0;
+}

@@ -24,11 +24,15 @@ main()
     bf::detail::setVerbose(false);
     RunConfig cfg = RunConfig::fromEnv();
     cfg.num_cores = std::min(cfg.num_cores, 4u);
+    BenchReport report("resources");
+    reportConfig(report, cfg);
 
     // Run a fault-heavy mixed workload so MaskPages actually appear.
     core::SystemParams params = core::SystemParams::babelfish();
     params.num_cores = cfg.num_cores;
     core::System sys(params);
+    if (cfg.sampleInterval())
+        sys.enableSampling(cfg.sampleInterval());
 
     auto profile = workloads::AppProfile::mongodb();
     const unsigned n = cfg.num_cores * cfg.containers_per_core;
@@ -78,5 +82,12 @@ main()
     std::printf("hardware (paper estimates): +0.4%% core area with the "
                 "PC bitmask, +0.07%% without;\nsee bench_table3_cacti "
                 "for the L2 TLB array costs.\n");
+    report.metric("leaf_translations", static_cast<double>(pte_count));
+    report.metric("table_pages", static_cast<double>(table_pages));
+    report.metric("maskpage_overhead_pct", mask_pct);
+    report.metric("counter_overhead_pct", counter_pct);
+    report.metric("total_overhead_pct", mask_pct + counter_pct);
+    report.addRun("mongodb.babelfish", captureArtifacts(sys));
+    report.write();
     return 0;
 }

@@ -25,6 +25,65 @@ main()
 {
     bf::detail::setVerbose(false);
     const RunConfig cfg = RunConfig::fromEnv();
+    BenchReport report("table2_attribution");
+    reportConfig(report, cfg);
+
+    const auto serving = workloads::AppProfile::dataServing();
+    const auto compute = workloads::AppProfile::compute();
+
+    // Three configurations per workload, all independent Systems.
+    std::vector<AppRunResult> s_base(serving.size()), s_pt(serving.size()),
+        s_full(serving.size());
+    std::vector<AppRunResult> c_base(compute.size()), c_pt(compute.size()),
+        c_full(compute.size());
+    FaasRunResult f_base[2], f_pt[2], f_full[2];
+
+    std::vector<std::function<void()>> jobs;
+    for (std::size_t i = 0; i < serving.size(); ++i) {
+        jobs.push_back([&, i] {
+            s_base[i] =
+                runApp(serving[i], core::SystemParams::baseline(), cfg);
+        });
+        jobs.push_back([&, i] {
+            s_pt[i] = runApp(
+                serving[i], core::SystemParams::pageTableSharingOnly(),
+                cfg);
+        });
+        jobs.push_back([&, i] {
+            s_full[i] =
+                runApp(serving[i], core::SystemParams::babelfish(), cfg);
+        });
+    }
+    for (std::size_t i = 0; i < compute.size(); ++i) {
+        jobs.push_back([&, i] {
+            c_base[i] =
+                runApp(compute[i], core::SystemParams::baseline(), cfg);
+        });
+        jobs.push_back([&, i] {
+            c_pt[i] = runApp(
+                compute[i], core::SystemParams::pageTableSharingOnly(),
+                cfg);
+        });
+        jobs.push_back([&, i] {
+            c_full[i] =
+                runApp(compute[i], core::SystemParams::babelfish(), cfg);
+        });
+    }
+    for (int s = 0; s < 2; ++s) {
+        jobs.push_back([&, s] {
+            f_base[s] =
+                runFaas(core::SystemParams::baseline(), s == 1, cfg);
+        });
+        jobs.push_back([&, s] {
+            f_pt[s] = runFaas(core::SystemParams::pageTableSharingOnly(),
+                              s == 1, cfg);
+        });
+        jobs.push_back([&, s] {
+            f_full[s] =
+                runFaas(core::SystemParams::babelfish(), s == 1, cfg);
+        });
+    }
+    runJobs(cfg, std::move(jobs));
 
     std::printf("Table II — Fraction of time reduction due to L2 TLB "
                 "effects\n");
@@ -34,69 +93,52 @@ main()
     rule();
 
     auto clamp01 = [](double x) { return std::min(1.0, std::max(0.0, x)); };
-
-    // Data serving: metric = mean latency.
-    for (const auto &profile : workloads::AppProfile::dataServing()) {
-        const auto base =
-            runApp(profile, core::SystemParams::baseline(), cfg);
-        const auto pt = runApp(
-            profile, core::SystemParams::pageTableSharingOnly(), cfg);
-        const auto full =
-            runApp(profile, core::SystemParams::babelfish(), cfg);
-        const double gain_full =
-            reduction(base.mean_latency, full.mean_latency);
-        const double gain_pt =
-            reduction(base.mean_latency, pt.mean_latency);
+    auto row = [&](const std::string &name, double gain_full,
+                   double gain_pt) {
         const double frac =
             gain_full > 0 ? clamp01((gain_full - gain_pt) / gain_full)
                           : 0.0;
-        std::printf("%-12s %9.1f%% %9.1f%% %9.1f%% %8.2f\n",
-                    profile.name.c_str(), gain_full, gain_pt,
-                    gain_full - gain_pt, frac);
+        std::printf("%-12s %9.1f%% %9.1f%% %9.1f%% %8.2f\n", name.c_str(),
+                    gain_full, gain_pt, gain_full - gain_pt, frac);
+        report.metric(name + ".frac_tlb", frac);
+    };
+
+    // Data serving: metric = mean latency.
+    for (std::size_t i = 0; i < serving.size(); ++i) {
+        row(serving[i].name,
+            reduction(s_base[i].mean_latency, s_full[i].mean_latency),
+            reduction(s_base[i].mean_latency, s_pt[i].mean_latency));
+        report.addRun(serving[i].name + ".baseline", s_base[i].artifacts);
+        report.addRun(serving[i].name + ".pt_only", s_pt[i].artifacts);
+        report.addRun(serving[i].name + ".babelfish", s_full[i].artifacts);
     }
 
     // Compute: metric = execution time (1/throughput).
-    for (const auto &profile : workloads::AppProfile::compute()) {
-        const auto base =
-            runApp(profile, core::SystemParams::baseline(), cfg);
-        const auto pt = runApp(
-            profile, core::SystemParams::pageTableSharingOnly(), cfg);
-        const auto full =
-            runApp(profile, core::SystemParams::babelfish(), cfg);
-        const double gain_full = reduction(1.0 / base.units_per_ms,
-                                           1.0 / full.units_per_ms);
-        const double gain_pt = reduction(1.0 / base.units_per_ms,
-                                         1.0 / pt.units_per_ms);
-        const double frac =
-            gain_full > 0 ? clamp01((gain_full - gain_pt) / gain_full)
-                          : 0.0;
-        std::printf("%-12s %9.1f%% %9.1f%% %9.1f%% %8.2f\n",
-                    profile.name.c_str(), gain_full, gain_pt,
-                    gain_full - gain_pt, frac);
+    for (std::size_t i = 0; i < compute.size(); ++i) {
+        row(compute[i].name,
+            reduction(1.0 / c_base[i].units_per_ms,
+                      1.0 / c_full[i].units_per_ms),
+            reduction(1.0 / c_base[i].units_per_ms,
+                      1.0 / c_pt[i].units_per_ms));
+        report.addRun(compute[i].name + ".baseline", c_base[i].artifacts);
+        report.addRun(compute[i].name + ".pt_only", c_pt[i].artifacts);
+        report.addRun(compute[i].name + ".babelfish", c_full[i].artifacts);
     }
 
     // Functions: metric = trailing execution time.
-    for (bool sparse : {false, true}) {
-        const auto base =
-            runFaas(core::SystemParams::baseline(), sparse, cfg);
-        const auto pt = runFaas(
-            core::SystemParams::pageTableSharingOnly(), sparse, cfg);
-        const auto full =
-            runFaas(core::SystemParams::babelfish(), sparse, cfg);
-        const double gain_full =
-            reduction(base.trail_exec, full.trail_exec);
-        const double gain_pt = reduction(base.trail_exec, pt.trail_exec);
-        const double frac =
-            gain_full > 0 ? clamp01((gain_full - gain_pt) / gain_full)
-                          : 0.0;
-        std::printf("%-12s %9.1f%% %9.1f%% %9.1f%% %8.2f\n",
-                    sparse ? "fn-sparse" : "fn-dense", gain_full, gain_pt,
-                    gain_full - gain_pt, frac);
+    for (int s = 0; s < 2; ++s) {
+        const std::string label = s ? "fn-sparse" : "fn-dense";
+        row(label, reduction(f_base[s].trail_exec, f_full[s].trail_exec),
+            reduction(f_base[s].trail_exec, f_pt[s].trail_exec));
+        report.addRun(label + ".baseline", f_base[s].artifacts);
+        report.addRun(label + ".pt_only", f_pt[s].artifacts);
+        report.addRun(label + ".babelfish", f_full[s].artifacts);
     }
 
     rule();
     std::printf("(paper fractions: Mongo 0.77, Arango 0.25, HTTPd 0.81, "
                 "Compute avg 0.20,\n dense fns avg 0.20, sparse fns avg "
                 "0.01 — sparse gains are almost all page-table effects)\n");
+    report.write();
     return 0;
 }

@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "analysis/cacti_lite.hh"
+#include "bench/report.hh"
 #include "common/logging.hh"
 
 using namespace bf::analysis;
@@ -22,6 +23,7 @@ main()
 {
     bf::detail::setVerbose(false);
     CactiLite cacti;
+    bfbench::BenchReport report("table3_cacti");
 
     const auto base = cacti.evaluate(CactiLite::baselineL2Tlb());
     const auto fish = cacti.evaluate(CactiLite::babelFishL2Tlb());
@@ -52,5 +54,29 @@ main()
                 "(vs 1536)\n",
                 static_cast<unsigned long long>(
                     cacti.equalAreaConventionalEntries()));
+
+    report.metric("baseline.area_mm2", base.area_mm2);
+    report.metric("baseline.access_ps", base.access_ps);
+    report.metric("baseline.dyn_energy_pj", base.dyn_energy_pj);
+    report.metric("baseline.leakage_mw", base.leakage_mw);
+    report.metric("babelfish.area_mm2", fish.area_mm2);
+    report.metric("babelfish.access_ps", fish.access_ps);
+    report.metric("babelfish.dyn_energy_pj", fish.dyn_energy_pj);
+    report.metric("babelfish.leakage_mw", fish.leakage_mw);
+    report.metric("equal_area_conventional_entries",
+                  static_cast<double>(
+                      cacti.equalAreaConventionalEntries()));
+
+    // Analytic sweep: conventional-array area as the entry count grows,
+    // so the equal-area crossover can be plotted from the JSON.
+    std::vector<std::pair<double, double>> area_curve;
+    for (unsigned entries = 512; entries <= 4096; entries *= 2) {
+        auto cfg = CactiLite::baselineL2Tlb();
+        cfg.entries = entries;
+        area_curve.emplace_back(entries, cacti.evaluate(cfg).area_mm2);
+    }
+    report.addSeries("conventional_area_vs_entries", "entries",
+                     "area_mm2", area_curve);
+    report.write();
     return 0;
 }

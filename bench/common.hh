@@ -12,6 +12,12 @@
  *   BF_FAST=1      quarter-length runs on 4 cores (CI smoke mode).
  *   BF_CORES=n     override the core count.
  *   BF_MEASURE_MS  override the measurement window.
+ *   BF_JOBS=n      worker threads for independent configurations
+ *                  (default: hardware concurrency; 1 = serial).
+ *   BF_SAMPLE_MS   time-series sampling period (default 1 ms of
+ *                  simulated time; 0 disables sampling).
+ *   BF_JSON=0      skip the BENCH_<name>.json report.
+ *   BF_JSON_DIR    directory for the JSON report (default ".").
  */
 
 #ifndef BF_BENCH_COMMON_HH
@@ -19,10 +25,14 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "bench/report.hh"
+#include "common/parallel.hh"
+#include "common/stats_export.hh"
 #include "core/system.hh"
 #include "workloads/apps.hh"
 #include "workloads/function.hh"
@@ -39,6 +49,8 @@ struct RunConfig
     unsigned containers_per_core = 2; //!< Paper §VI: conservative.
     double warm_ms = 15;
     double measure_ms = 35;
+    double sample_ms = 1;      //!< Time-series period; 0 = off.
+    unsigned jobs = 0;         //!< Worker threads; 0 = hardware.
     std::uint64_t seed = 42;
 
     static RunConfig
@@ -55,9 +67,62 @@ struct RunConfig
             cfg.num_cores = static_cast<unsigned>(std::atoi(cores));
         if (const char *ms = std::getenv("BF_MEASURE_MS"))
             cfg.measure_ms = std::atof(ms);
+        if (const char *ms = std::getenv("BF_SAMPLE_MS"))
+            cfg.sample_ms = std::atof(ms);
+        if (const char *jobs = std::getenv("BF_JOBS"))
+            cfg.jobs = static_cast<unsigned>(std::atoi(jobs));
         return cfg;
     }
+
+    /** Sampling period in cycles (0 = sampling off). */
+    Cycles sampleInterval() const { return msToCycles(sample_ms); }
+
+    /** Effective worker-thread count. */
+    unsigned
+    workers() const
+    {
+        return jobs ? jobs : defaultWorkers();
+    }
 };
+
+/**
+ * Run independent bench configurations on cfg.workers() threads.
+ *
+ * Thread-safety contract (see common/parallel.hh): every job builds
+ * its own System and writes only its own result slot; nothing shared
+ * is mutated. Results are identical to running the jobs serially
+ * (BF_JOBS=1) — parallelism only cuts wall-clock.
+ */
+inline void
+runJobs(const RunConfig &cfg, std::vector<std::function<void()>> jobs)
+{
+    runParallel(jobs.size(), cfg.workers(),
+                [&](std::size_t i) { jobs[i](); });
+}
+
+/** Stamp the harness configuration into a bench report. */
+inline void
+reportConfig(BenchReport &report, const RunConfig &cfg)
+{
+    report.config("num_cores", cfg.num_cores);
+    report.config("containers_per_core", cfg.containers_per_core);
+    report.config("warm_ms", cfg.warm_ms);
+    report.config("measure_ms", cfg.measure_ms);
+    report.config("sample_ms", cfg.sample_ms);
+    report.config("jobs", cfg.workers());
+    report.config("seed", static_cast<double>(cfg.seed));
+}
+
+/** Serialize a finished System's stats + time series + cap flag. */
+inline RunArtifacts
+captureArtifacts(const core::System &sys)
+{
+    RunArtifacts artifacts;
+    artifacts.stats_json = stats::toJsonString(sys.stats());
+    artifacts.timeseries_json = sys.sampler().toJsonString();
+    artifacts.capped = sys.run_capped.value() > 0;
+    return artifacts;
+}
 
 /** Metrics extracted from one Data Serving / Compute run. */
 struct AppRunResult
@@ -74,6 +139,7 @@ struct AppRunResult
     std::uint64_t shared_installs = 0;
     std::uint64_t instructions = 0;
     double l2_long_frac = 0; //!< L2 TLB accesses paying the 12-cycle time.
+    RunArtifacts artifacts;  //!< Final stats + time series, serialized.
 };
 
 /**
@@ -87,6 +153,8 @@ runApp(const workloads::AppProfile &profile,
 {
     params.num_cores = cfg.num_cores;
     core::System sys(params);
+    if (cfg.sampleInterval())
+        sys.enableSampling(cfg.sampleInterval());
 
     const unsigned n = cfg.num_cores * cfg.containers_per_core;
     auto app = workloads::buildApp(sys.kernel(), profile, n, cfg.seed);
@@ -156,6 +224,7 @@ runApp(const workloads::AppProfile &profile,
     r.l2_long_frac = l2_accesses
                          ? static_cast<double>(l2_long) / l2_accesses
                          : 0;
+    r.artifacts = captureArtifacts(sys);
     return r;
 }
 
@@ -171,6 +240,7 @@ struct FaasRunResult
     double data_shared_frac = 0;
     double instr_shared_frac = 0;
     std::uint64_t minor_faults = 0;
+    RunArtifacts artifacts;  //!< Final stats + time series, serialized.
 };
 
 /**
@@ -186,6 +256,8 @@ runFaas(core::SystemParams params, bool sparse, const RunConfig &cfg)
     // bring-ups genuinely overlap in time).
     params.core.quantum = msToCycles(0.5);
     core::System sys(params);
+    if (cfg.sampleInterval())
+        sys.enableSampling(cfg.sampleInterval());
 
     auto group = workloads::buildFaasGroup(
         sys.kernel(), workloads::FunctionProfile::all(), cfg.seed);
@@ -225,6 +297,7 @@ runFaas(core::SystemParams params, bool sparse, const RunConfig &cfg)
     r.instr_shared_frac =
         ih ? static_cast<double>(sys.totalL2TlbSharedHits(true)) / ih : 0;
     r.minor_faults = sys.kernel().minor_faults.value();
+    r.artifacts = captureArtifacts(sys);
     return r;
 }
 

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Machine-readable bench output: every bench binary writes a
+ * BENCH_<name>.json next to its stdout tables so the perf trajectory
+ * can be tracked PR-over-PR without scraping text.
+ *
+ * Schema (version 1; see README.md "Reading the stats output"):
+ *
+ *   {
+ *     "schema_version": 1,
+ *     "bench": "<name>",
+ *     "config": { "<knob>": <number|string>, ... },
+ *     "metrics": { "<headline metric>": <number>, ... },
+ *     "capped_runs": <number of runs that hit the cycle cap>,
+ *     "runs": {
+ *       "<label>": {
+ *         "capped": <bool>,
+ *         "stats": { <stats::toJson of the System tree> },
+ *         "timeseries": { <StatSampler::toJson> }
+ *       }, ...
+ *     },
+ *     "series": {
+ *       "<name>": { "x_label": "...", "y_label": "...",
+ *                   "points": [[x, y], ...] }, ...
+ *     }
+ *   }
+ *
+ * Environment knobs: BF_JSON=0 disables the file; BF_JSON_DIR=<dir>
+ * redirects it (default: the current directory).
+ */
+
+#ifndef BF_BENCH_REPORT_HH
+#define BF_BENCH_REPORT_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stats_export.hh"
+
+namespace bfbench
+{
+
+/** Serialized observability output of one simulation run. */
+struct RunArtifacts
+{
+    std::string stats_json;      //!< stats::toJson of the final tree.
+    std::string timeseries_json; //!< StatSampler::toJson.
+    bool capped = false;         //!< Run hit the runUntilFinished cap.
+};
+
+/** Accumulates one bench's results and writes BENCH_<name>.json. */
+class BenchReport
+{
+  public:
+    explicit BenchReport(std::string name) : name_(std::move(name))
+    {
+        if (const char *flag = std::getenv("BF_JSON"))
+            enabled_ = !(flag[0] == '0' && flag[1] == '\0');
+        if (const char *dir = std::getenv("BF_JSON_DIR"))
+            dir_ = dir;
+    }
+
+    bool enabled() const { return enabled_; }
+
+    /** Output path: <BF_JSON_DIR>/BENCH_<name>.json */
+    std::string
+    path() const
+    {
+        return dir_ + "/BENCH_" + name_ + ".json";
+    }
+
+    /** Record a configuration knob. */
+    void
+    config(const std::string &key, double value)
+    {
+        config_.emplace_back(key, bf::stats::jsonNumber(value));
+    }
+
+    void
+    config(const std::string &key, const std::string &value)
+    {
+        config_.emplace_back(
+            key, "\"" + bf::stats::jsonEscape(value) + "\"");
+    }
+
+    /** Record a headline metric (one number the tables also print). */
+    void
+    metric(const std::string &name, double value)
+    {
+        metrics_.emplace_back(name, value);
+    }
+
+    /** Record one run's full stats + time series under a label. */
+    void
+    addRun(const std::string &label, const RunArtifacts &artifacts)
+    {
+        runs_.emplace_back(label, artifacts);
+        if (artifacts.capped)
+            ++capped_runs_;
+    }
+
+    /**
+     * Record an analytic series (parameter sweeps of benches that do
+     * not run a System, e.g. the CactiLite area-vs-entries curve).
+     */
+    void
+    addSeries(const std::string &name, const std::string &x_label,
+              const std::string &y_label,
+              const std::vector<std::pair<double, double>> &points)
+    {
+        series_.push_back({ name, x_label, y_label, points });
+    }
+
+    /** Runs recorded so far that hit the runUntilFinished cycle cap. */
+    unsigned cappedRuns() const { return capped_runs_; }
+
+    /**
+     * Write the JSON file and surface truncated runs on stdout. Call
+     * once, after the tables are printed.
+     */
+    void
+    write() const
+    {
+        if (capped_runs_) {
+            std::printf("WARNING: %u run(s) hit the runUntilFinished "
+                        "cycle cap; their results are truncated, not "
+                        "converged\n",
+                        capped_runs_);
+        }
+        if (!enabled_)
+            return;
+        std::ofstream os(path());
+        if (!os) {
+            std::fprintf(stderr, "could not write %s\n", path().c_str());
+            return;
+        }
+        os << "{\"schema_version\":1,\"bench\":\""
+           << bf::stats::jsonEscape(name_) << "\",\"config\":{";
+        bool first = true;
+        for (const auto &[key, value] : config_) {
+            os << (first ? "" : ",") << '"' << bf::stats::jsonEscape(key)
+               << "\":" << value;
+            first = false;
+        }
+        os << "},\"metrics\":{";
+        first = true;
+        for (const auto &[key, value] : metrics_) {
+            os << (first ? "" : ",") << '"' << bf::stats::jsonEscape(key)
+               << "\":" << bf::stats::jsonNumber(value);
+            first = false;
+        }
+        os << "},\"capped_runs\":" << capped_runs_ << ",\"runs\":{";
+        first = true;
+        for (const auto &[label, artifacts] : runs_) {
+            os << (first ? "" : ",") << '"'
+               << bf::stats::jsonEscape(label) << "\":{\"capped\":"
+               << (artifacts.capped ? "true" : "false") << ",\"stats\":"
+               << (artifacts.stats_json.empty() ? "{}"
+                                                : artifacts.stats_json)
+               << ",\"timeseries\":"
+               << (artifacts.timeseries_json.empty()
+                       ? "{}"
+                       : artifacts.timeseries_json)
+               << '}';
+            first = false;
+        }
+        os << "},\"series\":{";
+        first = true;
+        for (const auto &s : series_) {
+            os << (first ? "" : ",") << '"'
+               << bf::stats::jsonEscape(s.name) << "\":{\"x_label\":\""
+               << bf::stats::jsonEscape(s.x_label) << "\",\"y_label\":\""
+               << bf::stats::jsonEscape(s.y_label) << "\",\"points\":[";
+            bool pfirst = true;
+            for (const auto &[x, y] : s.points) {
+                os << (pfirst ? "" : ",") << '['
+                   << bf::stats::jsonNumber(x) << ','
+                   << bf::stats::jsonNumber(y) << ']';
+                pfirst = false;
+            }
+            os << "]}";
+            first = false;
+        }
+        os << "}}\n";
+        std::printf("wrote %s\n", path().c_str());
+    }
+
+  private:
+    struct Series
+    {
+        std::string name;
+        std::string x_label;
+        std::string y_label;
+        std::vector<std::pair<double, double>> points;
+    };
+
+    std::string name_;
+    std::string dir_ = ".";
+    bool enabled_ = true;
+    std::vector<std::pair<std::string, std::string>> config_;
+    std::vector<std::pair<std::string, double>> metrics_;
+    std::vector<std::pair<std::string, RunArtifacts>> runs_;
+    std::vector<Series> series_;
+    unsigned capped_runs_ = 0;
+};
+
+} // namespace bfbench
+
+#endif // BF_BENCH_REPORT_HH

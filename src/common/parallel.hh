@@ -1,0 +1,79 @@
+/**
+ * @file
+ * A minimal fork/join helper for running independent simulations
+ * concurrently.
+ *
+ * Each `System` is fully self-contained (its own kernel, frame
+ * allocator, caches, RNG streams and stat tree), so independent
+ * configurations can run on separate OS threads with no synchronization
+ * beyond join. The thread-safety contract callers must keep: one System
+ * per job, jobs write only to their own result slot, and nothing
+ * touches shared mutable state (the only process-global is the logging
+ * verbosity flag, which benches set once before spawning workers).
+ *
+ * Results are deterministic and identical to a serial run: parallelism
+ * only changes wall-clock order, never simulated behaviour.
+ */
+
+#ifndef BF_COMMON_PARALLEL_HH
+#define BF_COMMON_PARALLEL_HH
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace bf
+{
+
+/**
+ * Run fn(0), fn(1), ... fn(n-1) on up to @p workers threads.
+ *
+ * Jobs are handed out dynamically (an atomic ticket counter), so a mix
+ * of long and short jobs still load-balances. With workers <= 1 the
+ * jobs run inline on the calling thread, in index order. An exception
+ * escaping @p fn on a worker terminates the process (the simulator
+ * reports errors via panic/fatal, which abort anyway).
+ */
+inline void
+runParallel(std::size_t n, unsigned workers,
+            const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (workers > n)
+        workers = static_cast<unsigned>(n);
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    auto drain = [&] {
+        for (std::size_t i = next.fetch_add(1); i < n;
+             i = next.fetch_add(1)) {
+            fn(i);
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (unsigned w = 1; w < workers; ++w)
+        pool.emplace_back(drain);
+    drain();
+    for (auto &t : pool)
+        t.join();
+}
+
+/** Default worker count: the hardware concurrency, at least 1. */
+inline unsigned
+defaultWorkers()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+} // namespace bf
+
+#endif // BF_COMMON_PARALLEL_HH

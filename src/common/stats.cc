@@ -125,6 +125,21 @@ StatGroup::dump(std::ostream &os) const
         child->dump(os);
 }
 
+void
+StatGroup::accept(StatVisitor &visitor) const
+{
+    visitor.beginGroup(*this);
+    for (const auto &[name, stat] : scalars_)
+        visitor.visitScalar(*this, name, *stat);
+    for (const auto &[name, stat] : averages_)
+        visitor.visitAverage(*this, name, *stat);
+    for (const auto &[name, stat] : latencies_)
+        visitor.visitLatency(*this, name, *stat);
+    for (const auto *child : children_)
+        child->accept(visitor);
+    visitor.endGroup(*this);
+}
+
 const Scalar *
 StatGroup::findScalar(const std::string &rel_path) const
 {

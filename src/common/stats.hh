@@ -132,6 +132,43 @@ class LatencyTracker
     void sort() const;
 };
 
+class StatGroup;
+
+/**
+ * Read-only visitor over a StatGroup tree (see StatGroup::accept).
+ *
+ * For each group the walk calls beginGroup, then every registered stat
+ * of that group (scalars, then averages, then latency trackers, each in
+ * name order), then recurses into the children in registration order,
+ * and finally calls endGroup. Serializers (stats_export.hh) and tests
+ * build on this instead of reaching into the containers.
+ */
+class StatVisitor
+{
+  public:
+    virtual ~StatVisitor() = default;
+
+    virtual void beginGroup(const StatGroup &group) { (void)group; }
+    virtual void endGroup(const StatGroup &group) { (void)group; }
+
+    virtual void visitScalar(const StatGroup &group,
+                             const std::string &name, const Scalar &stat)
+    {
+        (void)group; (void)name; (void)stat;
+    }
+    virtual void visitAverage(const StatGroup &group,
+                              const std::string &name, const Average &stat)
+    {
+        (void)group; (void)name; (void)stat;
+    }
+    virtual void visitLatency(const StatGroup &group,
+                              const std::string &name,
+                              const LatencyTracker &stat)
+    {
+        (void)group; (void)name; (void)stat;
+    }
+};
+
 /**
  * A named collection of statistics. Groups form a tree; dump() walks the
  * tree and prints "path.name value" lines like gem5's stats.txt.
@@ -161,6 +198,9 @@ class StatGroup
     /** Print all stats in this group and its children. */
     void dump(std::ostream &os) const;
 
+    /** Depth-first walk of this group and its children (see StatVisitor). */
+    void accept(StatVisitor &visitor) const;
+
     /**
      * Look up a scalar's value by path relative to this group, e.g.\
      * "core0.l2tlb.hits". Panics if absent (tests rely on names).
@@ -171,6 +211,22 @@ class StatGroup
     bool hasScalar(const std::string &rel_path) const;
 
     const std::string &name() const { return name_; }
+
+    /** @{ @name Read-only container access (serializers, tests) */
+    const std::vector<StatGroup *> &children() const { return children_; }
+    const std::map<std::string, const Scalar *> &scalars() const
+    {
+        return scalars_;
+    }
+    const std::map<std::string, const Average *> &averages() const
+    {
+        return averages_;
+    }
+    const std::map<std::string, const LatencyTracker *> &latencies() const
+    {
+        return latencies_;
+    }
+    /** @} */
 
   private:
     std::string name_;

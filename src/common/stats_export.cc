@@ -1,0 +1,153 @@
+#include "common/stats_export.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace bf::stats
+{
+
+std::string
+jsonEscape(const std::string &raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (unsigned char c : raw) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double value)
+{
+    if (!std::isfinite(value))
+        return "null";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.12g", value);
+    return buf;
+}
+
+namespace
+{
+
+void
+writeGroupJson(const StatGroup &group, std::ostream &os)
+{
+    os << "{\"scalars\":{";
+    bool first = true;
+    for (const auto &[name, stat] : group.scalars()) {
+        os << (first ? "" : ",") << '"' << jsonEscape(name)
+           << "\":" << stat->value();
+        first = false;
+    }
+    os << "},\"averages\":{";
+    first = true;
+    for (const auto &[name, stat] : group.averages()) {
+        os << (first ? "" : ",") << '"' << jsonEscape(name)
+           << "\":{\"mean\":" << jsonNumber(stat->mean())
+           << ",\"sum\":" << jsonNumber(stat->sum())
+           << ",\"count\":" << stat->count() << '}';
+        first = false;
+    }
+    os << "},\"latencies\":{";
+    first = true;
+    for (const auto &[name, stat] : group.latencies()) {
+        os << (first ? "" : ",") << '"' << jsonEscape(name)
+           << "\":{\"mean\":" << jsonNumber(stat->mean())
+           << ",\"p50\":" << jsonNumber(stat->percentile(50))
+           << ",\"p95\":" << jsonNumber(stat->percentile(95))
+           << ",\"p99\":" << jsonNumber(stat->percentile(99))
+           << ",\"count\":" << stat->count() << '}';
+        first = false;
+    }
+    os << "},\"children\":{";
+    first = true;
+    for (const auto *child : group.children()) {
+        os << (first ? "" : ",") << '"' << jsonEscape(child->name())
+           << "\":";
+        writeGroupJson(*child, os);
+        first = false;
+    }
+    os << "}}";
+}
+
+/** StatVisitor emitting one "path.name=value" line per stat. */
+class FlatTextWriter : public StatVisitor
+{
+  public:
+    explicit FlatTextWriter(std::ostream &os) : os_(os) {}
+
+    void
+    visitScalar(const StatGroup &group, const std::string &name,
+                const Scalar &stat) override
+    {
+        os_ << group.path() << '.' << name << '=' << stat.value() << '\n';
+    }
+
+    void
+    visitAverage(const StatGroup &group, const std::string &name,
+                 const Average &stat) override
+    {
+        os_ << group.path() << '.' << name << ".mean=" << stat.mean()
+            << '\n';
+        os_ << group.path() << '.' << name << ".count=" << stat.count()
+            << '\n';
+    }
+
+    void
+    visitLatency(const StatGroup &group, const std::string &name,
+                 const LatencyTracker &stat) override
+    {
+        os_ << group.path() << '.' << name << ".mean=" << stat.mean()
+            << '\n';
+        os_ << group.path() << '.' << name << ".p95="
+            << stat.percentile(95) << '\n';
+        os_ << group.path() << '.' << name << ".count=" << stat.count()
+            << '\n';
+    }
+
+  private:
+    std::ostream &os_;
+};
+
+} // namespace
+
+void
+toJson(const StatGroup &root, std::ostream &os)
+{
+    writeGroupJson(root, os);
+}
+
+std::string
+toJsonString(const StatGroup &root)
+{
+    std::ostringstream oss;
+    toJson(root, oss);
+    return oss.str();
+}
+
+void
+toFlatText(const StatGroup &root, std::ostream &os)
+{
+    FlatTextWriter writer(os);
+    root.accept(writer);
+}
+
+} // namespace bf::stats

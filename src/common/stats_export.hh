@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Serializers for the statistics tree (machine-readable export).
+ *
+ * Two formats, both built on StatGroup::accept / StatVisitor:
+ *
+ *  - JSON: a nested object per group with fixed sections, so child-group
+ *    names can never collide with stat names:
+ *
+ *      {"scalars": {"hits": 12},
+ *       "averages": {"occ": {"mean": 1.5, "sum": 3.0, "count": 2}},
+ *       "latencies": {"req": {"mean": ..., "p50": ..., "p95": ...,
+ *                             "p99": ..., "count": ...}},
+ *       "children": {"core0": { ... }}}
+ *
+ *  - flat text: one "path.name=value" line per stat (averages and
+ *    latency trackers expand into their derived values, mirroring
+ *    StatGroup::dump()'s component order).
+ *
+ * The benches embed the JSON form in their BENCH_<name>.json reports;
+ * see README.md ("Reading the stats output") for the full schema.
+ */
+
+#ifndef BF_COMMON_STATS_EXPORT_HH
+#define BF_COMMON_STATS_EXPORT_HH
+
+#include <ostream>
+#include <string>
+
+#include "common/stats.hh"
+
+namespace bf::stats
+{
+
+/**
+ * Escape a string for inclusion inside JSON double quotes: backslash,
+ * quote, and control characters (U+0000..U+001F) per RFC 8259.
+ */
+std::string jsonEscape(const std::string &raw);
+
+/**
+ * Format a double as a valid JSON number. JSON has no NaN/Infinity;
+ * those serialize as null (the schema documents this).
+ */
+std::string jsonNumber(double value);
+
+/** Serialize a stats tree as JSON (no trailing newline). */
+void toJson(const StatGroup &root, std::ostream &os);
+
+/** Convenience: toJson into a string. */
+std::string toJsonString(const StatGroup &root);
+
+/** Serialize a stats tree as flat "path.name=value" lines. */
+void toFlatText(const StatGroup &root, std::ostream &os);
+
+} // namespace bf::stats
+
+#endif // BF_COMMON_STATS_EXPORT_HH

@@ -1,0 +1,43 @@
+#include "core/sampler.hh"
+
+#include <sstream>
+
+#include "common/stats_export.hh"
+
+namespace bf::core
+{
+
+void
+StatSampler::toJson(std::ostream &os) const
+{
+    os << "{\"interval_cycles\":" << interval_ << ",\"probes\":[";
+    bool first = true;
+    for (const auto &name : names_) {
+        os << (first ? "" : ",") << '"' << stats::jsonEscape(name) << '"';
+        first = false;
+    }
+    os << "],\"samples\":[";
+    first = true;
+    for (const auto &point : points_) {
+        os << (first ? "" : ",") << "{\"cycle\":" << point.cycle
+           << ",\"phase\":" << point.phase << ",\"values\":[";
+        bool vfirst = true;
+        for (std::uint64_t v : point.values) {
+            os << (vfirst ? "" : ",") << v;
+            vfirst = false;
+        }
+        os << "]}";
+        first = false;
+    }
+    os << "]}";
+}
+
+std::string
+StatSampler::toJsonString() const
+{
+    std::ostringstream oss;
+    toJson(oss);
+    return oss.str();
+}
+
+} // namespace bf::core

@@ -28,6 +28,68 @@ System::System(const SystemParams &params)
         for (auto &core : cores_)
             core->mmu().applyInvalidate(inv);
     });
+
+    stat_group_.addStat("run_capped", &run_capped);
+}
+
+void
+System::enableSampling(Cycles interval)
+{
+    if (sampler_.names().empty()) {
+        auto sumMmu = [this](auto member) {
+            return [this, member]() {
+                std::uint64_t total = 0;
+                for (const auto &core : cores_)
+                    total += (core->mmu().*member).value();
+                return total;
+            };
+        };
+        sampler_.addProbe("instructions", [this] {
+            return totalInstructions();
+        });
+        sampler_.addProbe("l2_tlb_data_hits",
+                          sumMmu(&Mmu::l2_data_hits));
+        sampler_.addProbe("l2_tlb_data_misses",
+                          sumMmu(&Mmu::l2_data_misses));
+        sampler_.addProbe("l2_tlb_instr_hits",
+                          sumMmu(&Mmu::l2_instr_hits));
+        sampler_.addProbe("l2_tlb_instr_misses",
+                          sumMmu(&Mmu::l2_instr_misses));
+        sampler_.addProbe("l2_tlb_shared_hits", [this] {
+            return totalL2TlbSharedHits(false) + totalL2TlbSharedHits(true);
+        });
+        sampler_.addProbe("walks", [this] {
+            std::uint64_t total = 0;
+            for (const auto &core : cores_)
+                total += core->mmu().walker().walks.value();
+            return total;
+        });
+        sampler_.addProbe("walk_cycles", [this] {
+            std::uint64_t total = 0;
+            for (const auto &core : cores_)
+                total += core->mmu().walker().walk_cycles.value();
+            return total;
+        });
+        sampler_.addProbe("l2_cache_misses", [this] {
+            std::uint64_t total = 0;
+            for (unsigned c = 0; c < numCores(); ++c)
+                total += hierarchy_->l2(c).misses.value();
+            return total;
+        });
+        sampler_.addProbe("l3_misses", [this] {
+            return hierarchy_->l3().misses.value();
+        });
+        sampler_.addProbe("dram_reads", [this] {
+            return hierarchy_->dram().reads.value();
+        });
+        sampler_.addProbe("minor_faults", [this] {
+            return kernel_->minor_faults.value();
+        });
+        sampler_.addProbe("cow_faults", [this] {
+            return kernel_->cow_faults.value();
+        });
+    }
+    sampler_.setInterval(interval);
 }
 
 void
@@ -50,6 +112,7 @@ System::run(Cycles duration)
         barrier = std::min(barrier + syncChunk, end);
         for (auto &core : cores_)
             core->runUntil(barrier);
+        sampler_.observe(barrier);
     }
 }
 
@@ -75,7 +138,9 @@ System::runUntilFinished(Cycles max_cycles)
         barrier = std::min(barrier + syncChunk, end);
         for (auto &core : cores_)
             core->runUntil(barrier);
+        sampler_.observe(barrier);
     }
+    ++run_capped;
     warn("runUntilFinished hit the cycle cap");
 }
 
@@ -85,6 +150,9 @@ System::resetStats()
     for (auto &core : cores_)
         core->resetStats();
     hierarchy_->resetStats();
+    run_capped.reset();
+    if (sampler_.enabled())
+        sampler_.beginPhase();
 }
 
 std::uint64_t

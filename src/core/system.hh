@@ -25,6 +25,7 @@
 #include "common/stats.hh"
 #include "core/core.hh"
 #include "core/params.hh"
+#include "core/sampler.hh"
 #include "mem/hierarchy.hh"
 #include "vm/kernel.hh"
 
@@ -54,11 +55,33 @@ class System
      */
     void run(Cycles duration);
 
-    /** Run until every thread on every core finished (or max cycles). */
+    /**
+     * Run until every thread on every core finished (or max cycles).
+     * Hitting the cap bumps the `run_capped` stat so truncated runs are
+     * detectable in the exported stats (benches surface it).
+     */
     void runUntilFinished(Cycles max_cycles);
 
-    /** Reset every statistic (end of warm-up). */
+    /**
+     * Reset every statistic (end of warm-up). Recorded time-series
+     * samples are kept; the sampler starts a new phase so the series
+     * shows warm-up and measurement side by side.
+     */
     void resetStats();
+
+    /**
+     * Enable periodic sampling: every @p interval cycles the driver
+     * snapshots a default probe set (instructions, L2 TLB hits/misses
+     * and shared hits split data/instruction, page-walk count and
+     * cycles, L2/L3 cache misses, DRAM reads, minor/CoW faults) into
+     * sampler(). Call before run(); calling again changes the interval
+     * but keeps recorded points.
+     */
+    void enableSampling(Cycles interval);
+
+    /** The time-series sampler (empty unless enableSampling was called). */
+    StatSampler &sampler() { return sampler_; }
+    const StatSampler &sampler() const { return sampler_; }
 
     /** Aggregate counters across cores. */
     std::uint64_t totalInstructions() const;
@@ -68,8 +91,12 @@ class System
 
     /** Root of the statistics tree ("system."). */
     stats::StatGroup &stats() { return stat_group_; }
+    const stats::StatGroup &stats() const { return stat_group_; }
 
     const SystemParams &params() const { return params_; }
+
+    /** Times runUntilFinished gave up at its cycle cap. */
+    stats::Scalar run_capped;
 
   private:
     SystemParams params_;
@@ -77,6 +104,7 @@ class System
     std::unique_ptr<vm::Kernel> kernel_;
     std::unique_ptr<mem::CacheHierarchy> hierarchy_;
     std::vector<std::unique_ptr<Core>> cores_;
+    StatSampler sampler_;
 
     /** Lockstep chunk size in cycles. */
     static constexpr Cycles syncChunk = 20000;
