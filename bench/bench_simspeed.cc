@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Simulation-speed harness: how fast does the *simulator* run on the
+ * host? Reports host wall-clock seconds and simulated MIPS (simulated
+ * instructions per host-second) for the default 8-core Fig. 11 workload
+ * mix (Data Serving + Compute apps under BabelFish, plus one FaaS
+ * group), and an aggregate over the whole mix.
+ *
+ * The numbers here describe the simulator's own throughput — the inner
+ * translate/TLB/cache loop — never the modeled machine, so they are the
+ * one output allowed to change across purely host-side optimizations.
+ * The golden-stats check (tools/check_golden_stats.py) enforces the
+ * complement: the architectural stats must not move at all.
+ *
+ * Environment knobs (on top of bench/common.hh's):
+ *   BF_REPEAT=n         time each workload n times, keep the fastest
+ *                       (default 1; use 3+ for recorded numbers).
+ *   BF_BASELINE_MIPS=x  baseline aggregate MIPS to compute the speedup
+ *                       note against (default: the value recorded on
+ *                       the pre-optimization commit, see BENCH_simspeed
+ *                       .json note fields).
+ *
+ * The mix always runs serially (BF_JOBS is ignored): wall-clock timing
+ * of concurrent cells would measure scheduler contention, not the
+ * simulator.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/common.hh"
+
+using namespace bfbench;
+
+namespace
+{
+
+/** Recorded aggregate sim-MIPS of the seed (pre-optimization) commit on
+ * the reference machine, for the default speedup note. Override with
+ * BF_BASELINE_MIPS when re-baselining on different hardware. */
+constexpr double kDefaultBaselineMips = 589.19;
+
+/** One timed simulation: host seconds and simulated instructions. */
+struct SpeedSample
+{
+    double host_seconds = 0;
+    std::uint64_t instructions = 0;
+
+    double
+    mips() const
+    {
+        return host_seconds > 0
+                   ? static_cast<double>(instructions) / host_seconds / 1e6
+                   : 0;
+    }
+};
+
+/** Run one co-located app cell (as Fig. 11 does) and time the run. */
+SpeedSample
+timeApp(const workloads::AppProfile &profile, core::SystemParams params,
+        const RunConfig &cfg)
+{
+    params.num_cores = cfg.num_cores;
+    core::System sys(params);
+
+    const unsigned n = cfg.num_cores * cfg.containers_per_core;
+    auto app = workloads::buildApp(sys.kernel(), profile, n, cfg.seed);
+    auto threads = workloads::makeAppThreads(app, cfg.seed);
+    for (unsigned i = 0; i < n; ++i)
+        sys.addThread(i % cfg.num_cores, threads[i].get());
+
+    const auto t0 = std::chrono::steady_clock::now();
+    sys.run(msToCycles(cfg.warm_ms + cfg.measure_ms));
+    const auto t1 = std::chrono::steady_clock::now();
+
+    SpeedSample s;
+    s.host_seconds = std::chrono::duration<double>(t1 - t0).count();
+    s.instructions = sys.totalInstructions();
+    return s;
+}
+
+/** Run one FaaS group to completion (as Fig. 11 does) and time it. */
+SpeedSample
+timeFaas(core::SystemParams params, bool sparse, const RunConfig &cfg)
+{
+    params.num_cores = 1;
+    params.core.quantum = msToCycles(0.5);
+    core::System sys(params);
+
+    auto group = workloads::buildFaasGroup(
+        sys.kernel(), workloads::FunctionProfile::all(), cfg.seed);
+    std::vector<std::unique_ptr<workloads::FunctionThread>> threads;
+    for (unsigned i = 0; i < 3; ++i) {
+        threads.push_back(std::make_unique<workloads::FunctionThread>(
+            group.profiles[i], group.containers[i], sparse,
+            cfg.seed + 17 * i));
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    sys.addThread(0, threads[0].get());
+    sys.run(msToCycles(3));
+    sys.addThread(0, threads[1].get());
+    sys.addThread(0, threads[2].get());
+    sys.runUntilFinished(msToCycles(4000));
+    const auto t1 = std::chrono::steady_clock::now();
+
+    SpeedSample s;
+    s.host_seconds = std::chrono::duration<double>(t1 - t0).count();
+    s.instructions = sys.totalInstructions();
+    return s;
+}
+
+/** Best (fastest) of @p repeats runs of a workload. */
+SpeedSample
+best(unsigned repeats, const std::function<SpeedSample()> &run)
+{
+    SpeedSample best_sample = run();
+    for (unsigned i = 1; i < repeats; ++i) {
+        const SpeedSample s = run();
+        if (s.host_seconds < best_sample.host_seconds)
+            best_sample = s;
+    }
+    return best_sample;
+}
+
+} // namespace
+
+int
+main()
+{
+    bf::detail::setVerbose(false);
+    const RunConfig cfg = RunConfig::fromEnv();
+
+    unsigned repeats = 1;
+    if (const char *r = std::getenv("BF_REPEAT"))
+        repeats = std::max(1, std::atoi(r));
+    double baseline_mips = kDefaultBaselineMips;
+    if (const char *b = std::getenv("BF_BASELINE_MIPS"))
+        baseline_mips = std::atof(b);
+
+    BenchReport report("simspeed");
+    reportConfig(report, cfg);
+    report.config("repeats", static_cast<double>(repeats));
+
+    // The Fig. 11 workload mix under the BabelFish configuration.
+    struct Cell
+    {
+        std::string label;
+        std::function<SpeedSample()> run;
+    };
+    std::vector<Cell> cells;
+    for (const auto &profile : workloads::AppProfile::dataServing()) {
+        cells.push_back({ profile.name, [profile, &cfg] {
+            return timeApp(profile, core::SystemParams::babelfish(), cfg);
+        } });
+    }
+    for (const auto &profile : workloads::AppProfile::compute()) {
+        cells.push_back({ profile.name, [profile, &cfg] {
+            return timeApp(profile, core::SystemParams::babelfish(), cfg);
+        } });
+    }
+    cells.push_back({ "fn-dense", [&cfg] {
+        return timeFaas(core::SystemParams::babelfish(), false, cfg);
+    } });
+    cells.push_back({ "fn-sparse", [&cfg] {
+        return timeFaas(core::SystemParams::babelfish(), true, cfg);
+    } });
+
+    std::printf("Simulation speed — host throughput of the Fig. 11 mix "
+                "(%u cores, best of %u)\n", cfg.num_cores, repeats);
+    rule();
+    std::printf("%-12s %14s %12s %12s\n", "workload", "sim Minstr",
+                "host sec", "sim MIPS");
+    rule();
+
+    SpeedSample total;
+    for (const auto &cell : cells) {
+        const SpeedSample s = best(repeats, cell.run);
+        std::printf("%-12s %14.2f %12.3f %12.2f\n", cell.label.c_str(),
+                    s.instructions / 1e6, s.host_seconds, s.mips());
+        report.host(cell.label, s.host_seconds, s.mips());
+        total.host_seconds += s.host_seconds;
+        total.instructions += s.instructions;
+    }
+    rule();
+    std::printf("%-12s %14.2f %12.3f %12.2f\n", "total",
+                total.instructions / 1e6, total.host_seconds,
+                total.mips());
+    report.host("total", total.host_seconds, total.mips());
+    report.metric("sim_mips", total.mips());
+    report.metric("host_seconds", total.host_seconds);
+
+    if (baseline_mips > 0) {
+        const double speedup = total.mips() / baseline_mips;
+        std::printf("baseline %.2f MIPS -> speedup %.2fx\n",
+                    baseline_mips, speedup);
+        report.note("baseline_mips", baseline_mips);
+        report.note("speedup", speedup);
+    }
+    report.write();
+    return 0;
+}

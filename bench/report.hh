@@ -4,10 +4,10 @@
  * BENCH_<name>.json next to its stdout tables so the perf trajectory
  * can be tracked PR-over-PR without scraping text.
  *
- * Schema (version 1; see README.md "Reading the stats output"):
+ * Schema (version 2; see README.md "Reading the stats output"):
  *
  *   {
- *     "schema_version": 1,
+ *     "schema_version": 2,
  *     "bench": "<name>",
  *     "config": { "<knob>": <number|string>, ... },
  *     "metrics": { "<headline metric>": <number>, ... },
@@ -22,8 +22,17 @@
  *     "series": {
  *       "<name>": { "x_label": "...", "y_label": "...",
  *                   "points": [[x, y], ...] }, ...
- *     }
+ *     },
+ *     "host": {
+ *       "<label>": { "host_seconds": <number>, "sim_mips": <number> }, ...
+ *     },
+ *     "notes": { "<key>": <number|string>, ... }
  *   }
+ *
+ * Version 2 added the host-speed section ("host": wall-clock seconds and
+ * simulated MIPS per workload, written by bench_simspeed) and free-form
+ * "notes" (e.g. baseline_mips / speedup bookkeeping). Both sections are
+ * additive; the architectural stats under "runs" are unchanged.
  *
  * Environment knobs: BF_JSON=0 disables the file; BF_JSON_DIR=<dir>
  * redirects it (default: the current directory).
@@ -94,6 +103,33 @@ class BenchReport
         metrics_.emplace_back(name, value);
     }
 
+    /**
+     * Record a host-speed measurement: wall-clock seconds of simulation
+     * and the resulting simulated MIPS (instructions per host-second /
+     * 1e6). These fields describe the *simulator's* throughput, never
+     * the modeled machine, so they are exempt from golden-stats diffs.
+     */
+    void
+    host(const std::string &label, double host_seconds, double sim_mips)
+    {
+        host_.push_back({ label, host_seconds, sim_mips });
+    }
+
+    /** @{ @name Free-form notes (e.g.\ baseline_mips, speedup). */
+    void
+    note(const std::string &key, double value)
+    {
+        notes_.emplace_back(key, bf::stats::jsonNumber(value));
+    }
+
+    void
+    note(const std::string &key, const std::string &value)
+    {
+        notes_.emplace_back(
+            key, "\"" + bf::stats::jsonEscape(value) + "\"");
+    }
+    /** @} */
+
     /** Record one run's full stats + time series under a label. */
     void
     addRun(const std::string &label, const RunArtifacts &artifacts)
@@ -138,7 +174,7 @@ class BenchReport
             std::fprintf(stderr, "could not write %s\n", path().c_str());
             return;
         }
-        os << "{\"schema_version\":1,\"bench\":\""
+        os << "{\"schema_version\":2,\"bench\":\""
            << bf::stats::jsonEscape(name_) << "\",\"config\":{";
         bool first = true;
         for (const auto &[key, value] : config_) {
@@ -185,6 +221,22 @@ class BenchReport
             os << "]}";
             first = false;
         }
+        os << "},\"host\":{";
+        first = true;
+        for (const auto &h : host_) {
+            os << (first ? "" : ",") << '"'
+               << bf::stats::jsonEscape(h.label) << "\":{\"host_seconds\":"
+               << bf::stats::jsonNumber(h.host_seconds) << ",\"sim_mips\":"
+               << bf::stats::jsonNumber(h.sim_mips) << '}';
+            first = false;
+        }
+        os << "},\"notes\":{";
+        first = true;
+        for (const auto &[key, value] : notes_) {
+            os << (first ? "" : ",") << '"' << bf::stats::jsonEscape(key)
+               << "\":" << value;
+            first = false;
+        }
         os << "}}\n";
         std::printf("wrote %s\n", path().c_str());
     }
@@ -198,6 +250,13 @@ class BenchReport
         std::vector<std::pair<double, double>> points;
     };
 
+    struct HostSpeed
+    {
+        std::string label;
+        double host_seconds = 0;
+        double sim_mips = 0;
+    };
+
     std::string name_;
     std::string dir_ = ".";
     bool enabled_ = true;
@@ -205,6 +264,8 @@ class BenchReport
     std::vector<std::pair<std::string, double>> metrics_;
     std::vector<std::pair<std::string, RunArtifacts>> runs_;
     std::vector<Series> series_;
+    std::vector<HostSpeed> host_;
+    std::vector<std::pair<std::string, std::string>> notes_;
     unsigned capped_runs_ = 0;
 };
 

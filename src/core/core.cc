@@ -26,20 +26,40 @@ void
 Core::addThread(Thread *thread)
 {
     threads_.push_back(thread);
+    thread_done_.push_back(thread->finished() ? 1 : 0);
+    if (thread_done_.back())
+        ++done_count_;
 }
 
 void
 Core::clearThreads()
 {
     threads_.clear();
+    thread_done_.clear();
+    done_count_ = 0;
     current_ = 0;
+}
+
+bool
+Core::noteFinished(std::size_t idx) const
+{
+    if (thread_done_[idx])
+        return true;
+    if (threads_[idx]->finished()) {
+        thread_done_[idx] = 1;
+        ++done_count_;
+        return true;
+    }
+    return false;
 }
 
 bool
 Core::busy() const
 {
-    for (const Thread *thread : threads_) {
-        if (!thread->finished())
+    if (done_count_ == threads_.size())
+        return false;
+    for (std::size_t i = 0; i < threads_.size(); ++i) {
+        if (!noteFinished(i))
             return true;
     }
     return false;
@@ -55,13 +75,13 @@ Core::syncTo(Cycles target)
 bool
 Core::scheduleNext()
 {
-    if (threads_.empty())
+    if (threads_.empty() || done_count_ == threads_.size())
         return false;
     const std::size_t start = current_;
     std::size_t candidate = current_;
     for (std::size_t i = 0; i < threads_.size(); ++i) {
         candidate = (start + 1 + i) % threads_.size();
-        if (!threads_[candidate]->finished()) {
+        if (!noteFinished(candidate)) {
             if (candidate != current_) {
                 // CR3 write; with PCID/CCID tags the TLB is not flushed.
                 now_ += params_.context_switch_cycles;
@@ -85,7 +105,7 @@ Core::runUntil(Cycles until)
 
     while (now_ < until) {
         Thread *thread = threads_[current_];
-        if (thread->finished() || quantum_left_ == 0) {
+        if (noteFinished(current_) || quantum_left_ == 0) {
             if (!scheduleNext()) {
                 now_ = until; // everyone finished: idle to the barrier
                 return;
@@ -96,6 +116,7 @@ Core::runUntil(Cycles until)
         MemRef ref;
         if (!thread->next(ref)) {
             // Thread just ran to completion.
+            noteFinished(current_);
             if (!scheduleNext()) {
                 now_ = until;
                 return;

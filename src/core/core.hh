@@ -73,10 +73,23 @@ class Core
     std::unique_ptr<Mmu> mmu_;
 
     std::vector<Thread *> threads_;
+    /**
+     * Cached Thread::finished() observations, parallel to threads_.
+     * finished() is monotone (see thread.hh), so once a thread has been
+     * seen done it stays done and the scheduler never needs to ask it
+     * again — busy() and scheduleNext() skip cached-done threads instead
+     * of rescanning the whole run queue per decision. Mutable so the
+     * const busy() can record what it observes.
+     */
+    mutable std::vector<char> thread_done_;
+    mutable std::size_t done_count_ = 0;
     std::size_t current_ = 0;
     Cycles now_ = 0;
     Cycles quantum_left_ = 0;
     double cpi_accum_ = 0; //!< Fractional base-CPI carry.
+
+    /** finished() of one thread, through (and updating) the cache. */
+    bool noteFinished(std::size_t idx) const;
 
     /** Advance to the next runnable thread; true if one exists. */
     bool scheduleNext();

@@ -126,6 +126,27 @@ Mmu::fillL2(const tlb::TlbEntry &entry, vm::Process &proc)
     l2_[sizeIndex(copy.size)]->fill(copy, params_.babelfish);
 }
 
+int
+Mmu::cachedProcessBit(const vm::Process &proc, Addr canonical_va)
+{
+    // processBit() depends on the VA only through the region bases at
+    // the three possible leaf levels, and the finest (1 GB) base
+    // determines the coarser two — so {pid, 1 GB region} keys the
+    // answer exactly.
+    const Addr region = vm::tableBase(canonical_va, vm::LevelPte + 1);
+    if (pb_cache_.gen_ptr && pb_cache_.pid == proc.pid() &&
+        pb_cache_.region == region && *pb_cache_.gen_ptr == pb_cache_.gen)
+        return pb_cache_.bit;
+
+    const std::uint64_t *gen_ptr = kernel_.maskGenerationPtr(proc.ccid());
+    pb_cache_.gen_ptr = gen_ptr;
+    pb_cache_.gen = gen_ptr ? *gen_ptr : 0;
+    pb_cache_.pid = proc.pid();
+    pb_cache_.region = region;
+    pb_cache_.bit = kernel_.processBit(proc, canonical_va);
+    return pb_cache_.bit;
+}
+
 Translation
 Mmu::translate(vm::Process &proc, Addr canonical_va, AccessType type,
                Cycles now)
@@ -134,9 +155,10 @@ Mmu::translate(vm::Process &proc, Addr canonical_va, AccessType type,
     const bool is_write = type == AccessType::Write;
 
     // The PC-bitmask bit this process owns for the page's region (-1 for
-    // the common case of no private copies).
+    // the common case of no private copies). Computed once per translate,
+    // as before — the cache only changes who does the computing.
     const int process_bit =
-        params_.babelfish ? kernel_.processBit(proc, canonical_va) : -1;
+        params_.babelfish ? cachedProcessBit(proc, canonical_va) : -1;
 
     for (int attempt = 0; attempt < 8; ++attempt) {
         PageSize size = PageSize::Size4K;

@@ -102,6 +102,31 @@ class Mmu
     std::unique_ptr<tlb::Pwc> pwc_;
     std::unique_ptr<tlb::PageWalker> walker_;
 
+    /**
+     * One-entry cache of Kernel::processBit for the last {process,
+     * 1 GB region} this core translated in. Temporal locality makes
+     * this hit almost always, turning the per-translate region lookups
+     * into one pointer compare. Correctness: the kernel bumps the
+     * group's mask_generation counter on every mutation that can change
+     * a processBit() answer; the entry stores the counter's address and
+     * the value observed at fill, so a bump — or a different process or
+     * region, including one from another CCID group — misses and
+     * re-queries. Pids are never reused, so a dead process' entry can
+     * never match a live one.
+     */
+    struct PbCache
+    {
+        const std::uint64_t *gen_ptr = nullptr;
+        std::uint64_t gen = 0;
+        Pid pid = 0;
+        Addr region = ~0ull;
+        int bit = -1;
+    };
+    PbCache pb_cache_;
+
+    /** Kernel::processBit through pb_cache_. */
+    int cachedProcessBit(const vm::Process &proc, Addr canonical_va);
+
     static unsigned sizeIndex(PageSize size)
     {
         return static_cast<unsigned>(size);

@@ -60,7 +60,13 @@ class Thread
     virtual void completed(const MemRef &ref, Cycles now) { (void)ref;
                                                             (void)now; }
 
-    /** Whether the thread has exited. */
+    /**
+     * Whether the thread has exited. Must be monotone: once it returns
+     * true it must keep returning true, and transitions happen only
+     * inside next() or completed(). The core's scheduler caches the
+     * observations (Core::noteFinished) and relies on this to avoid
+     * re-polling finished threads.
+     */
     virtual bool finished() const { return false; }
 
     /** Debug name. */

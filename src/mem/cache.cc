@@ -1,5 +1,7 @@
 #include "mem/cache.hh"
 
+#include <utility>
+
 #include "common/logging.hh"
 
 namespace bf::mem
@@ -7,7 +9,7 @@ namespace bf::mem
 
 Cache::Cache(const CacheParams &params, stats::StatGroup *parent)
     : params_(params), num_sets_(params.numSets()),
-      stat_group_(params.name, parent)
+      set_mask_(num_sets_ - 1), stat_group_(params.name, parent)
 {
     bf_assert(num_sets_ > 0, "cache ", params_.name, " has zero sets");
     bf_assert((num_sets_ & (num_sets_ - 1)) == 0,
@@ -21,11 +23,11 @@ Cache::Cache(const CacheParams &params, stats::StatGroup *parent)
     stat_group_.addStat("invalidations", &invalidations);
 }
 
-Cache::Line *
-Cache::find(Addr line_num)
+const Cache::Line *
+Cache::find(Addr line_num) const
 {
     const std::uint64_t set = setIndex(line_num);
-    Line *base = &lines_[set * params_.assoc];
+    const Line *base = &lines_[set * params_.assoc];
     for (unsigned way = 0; way < params_.assoc; ++way) {
         if (base[way].valid && base[way].tag == line_num)
             return &base[way];
@@ -33,10 +35,10 @@ Cache::find(Addr line_num)
     return nullptr;
 }
 
-const Cache::Line *
-Cache::find(Addr line_num) const
+Cache::Line *
+Cache::find(Addr line_num)
 {
-    return const_cast<Cache *>(this)->find(line_num);
+    return const_cast<Line *>(std::as_const(*this).find(line_num));
 }
 
 bool
@@ -84,6 +86,56 @@ Cache::insert(Addr line_addr, bool is_write, bool &evicted_dirty)
     victim->dirty = is_write;
     victim->lru = ++lru_clock_;
     return had_victim;
+}
+
+bool
+Cache::accessAndFill(Addr line_addr, bool is_write, bool &evicted_dirty)
+{
+    const Addr line_num = lineOf(line_addr);
+    const std::uint64_t set = setIndex(line_num);
+    Line *base = &lines_[set * params_.assoc];
+
+    // One pass answers the lookup and remembers the insert() victim:
+    // the first invalid way if any, else the minimum-LRU way.
+    Line *match = nullptr;
+    Line *invalid = nullptr;
+    Line *lru = &base[0];
+    for (unsigned way = 0; way < params_.assoc; ++way) {
+        Line &line = base[way];
+        if (line.valid) {
+            if (line.tag == line_num) {
+                match = &line;
+                break;
+            }
+            if (line.lru < lru->lru)
+                lru = &line;
+        } else if (!invalid) {
+            invalid = &line;
+        }
+    }
+
+    if (match) {
+        match->lru = ++lru_clock_;
+        match->dirty |= is_write;
+        ++hits;
+        evicted_dirty = false;
+        return true;
+    }
+    ++misses;
+
+    Line *victim = invalid ? invalid : lru;
+    const bool had_victim = victim->valid;
+    evicted_dirty = had_victim && victim->dirty;
+    if (had_victim) {
+        ++evictions;
+        if (evicted_dirty)
+            ++writebacks;
+    }
+    victim->tag = line_num;
+    victim->valid = true;
+    victim->dirty = is_write;
+    victim->lru = ++lru_clock_;
+    return false;
 }
 
 bool

@@ -68,6 +68,21 @@ class Cache
      */
     bool insert(Addr line_addr, bool is_write, bool &evicted_dirty);
 
+    /**
+     * Combined access-or-fill: one scan of the set answers the lookup
+     * AND selects the victim, so a miss does not re-walk the ways the
+     * way the historical access()-then-insert() sequence did. Stats,
+     * LRU state and the victim choice are identical to access()
+     * followed (on a miss) by insert() — the equivalence is pinned by
+     * tests/test_perf_fastpath.cc.
+     *
+     * @param line_addr byte address; only the line number is used.
+     * @param is_write whether the access dirties / inserts dirty.
+     * @param[out] evicted_dirty true if a miss evicted a dirty victim.
+     * @return true on hit.
+     */
+    bool accessAndFill(Addr line_addr, bool is_write, bool &evicted_dirty);
+
     /** Invalidate a line if present (coherence or TLB-shootdown path). */
     bool invalidate(Addr line_addr);
 
@@ -104,13 +119,19 @@ class Cache
 
     CacheParams params_;
     std::uint64_t num_sets_;
+    std::uint64_t set_mask_;        //!< num_sets_ - 1 (sets are pow2).
     std::vector<Line> lines_;       //!< num_sets_ * assoc, set-major.
     std::uint64_t lru_clock_ = 0;
     stats::StatGroup stat_group_;
 
-    std::uint64_t setIndex(Addr line_num) const { return line_num % num_sets_; }
-    Line *find(Addr line_num);
+    /**
+     * Set selection. The constructor asserts num_sets_ is a power of
+     * two, so the historical modulo reduces to a mask — no integer
+     * divide on the per-access hot path.
+     */
+    std::uint64_t setIndex(Addr line_num) const { return line_num & set_mask_; }
     const Line *find(Addr line_num) const;
+    Line *find(Addr line_num);
 };
 
 } // namespace bf::mem

@@ -35,6 +35,9 @@ CacheHierarchy::CacheHierarchy(const HierarchyParams &params,
     }
     l3_ = std::make_unique<Cache>(params_.l3, &stat_group_);
     dram_ = std::make_unique<Dram>(params_.dram, &stat_group_);
+    // With a single core there are no peer caches to probe, so the
+    // coherence walk would only burn host time without touching a stat.
+    coherence_active_ = params_.model_coherence && num_cores_ > 1;
 }
 
 MemAccessResult
@@ -44,15 +47,23 @@ CacheHierarchy::access(unsigned core, Addr paddr, AccessType type,
     bf_assert(core < num_cores_, "core ", core, " out of range");
     const bool is_write = type == AccessType::Write;
 
+    // Each level uses accessAndFill: one scan of the set answers the
+    // lookup and (on a miss) performs the fill the historical
+    // access()+insert() pair needed a second scan for. The per-cache
+    // operation sequences — and therefore all stats, LRU state and
+    // victim choices — are unchanged; only the interleaving across
+    // *different* caches moves, which is invisible because each cache
+    // owns its own LRU clock and the DRAM timestamp still sees the
+    // accumulated L1+L2+L3 latency.
     MemAccessResult result;
     Cache *l1 = isIfetch(type) ? l1i_[core].get() : l1d_[core].get();
     bool dirty = false;
 
     if (!start_at_l2) {
         result.latency += l1->accessCycles();
-        if (l1->access(paddr, is_write)) {
+        if (l1->accessAndFill(paddr, is_write, dirty)) {
             result.served_by = MemLevel::L1;
-            if (is_write && params_.model_coherence)
+            if (is_write && coherence_active_)
                 probeInvalidate(core, paddr);
             return result;
         }
@@ -60,29 +71,20 @@ CacheHierarchy::access(unsigned core, Addr paddr, AccessType type,
 
     Cache *l2 = l2_[core].get();
     result.latency += l2->accessCycles();
-    if (l2->access(paddr, is_write)) {
+    if (l2->accessAndFill(paddr, is_write, dirty)) {
         result.served_by = MemLevel::L2;
-        if (!start_at_l2)
-            l1->insert(paddr, is_write, dirty);
-        if (is_write && params_.model_coherence)
-            probeInvalidate(core, paddr);
-        return result;
-    }
-
-    result.latency += l3_->accessCycles();
-    if (l3_->access(paddr, is_write)) {
-        result.served_by = MemLevel::L3;
     } else {
-        result.served_by = MemLevel::Memory;
-        result.latency += dram_->access(paddr, now + result.latency,
-                                        is_write);
-        l3_->insert(paddr, is_write, dirty);
+        result.latency += l3_->accessCycles();
+        if (l3_->accessAndFill(paddr, is_write, dirty)) {
+            result.served_by = MemLevel::L3;
+        } else {
+            result.served_by = MemLevel::Memory;
+            result.latency += dram_->access(paddr, now + result.latency,
+                                            is_write);
+        }
     }
 
-    l2->insert(paddr, is_write, dirty);
-    if (!start_at_l2)
-        l1->insert(paddr, is_write, dirty);
-    if (is_write && params_.model_coherence)
+    if (is_write && coherence_active_)
         probeInvalidate(core, paddr);
     return result;
 }

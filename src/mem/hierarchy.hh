@@ -97,6 +97,7 @@ class CacheHierarchy
   private:
     HierarchyParams params_;
     unsigned num_cores_;
+    bool coherence_active_ = false; //!< model_coherence && num_cores_ > 1.
     stats::StatGroup stat_group_;
     std::vector<std::unique_ptr<stats::StatGroup>> core_groups_;
     std::vector<std::unique_ptr<Cache>> l1i_;

@@ -43,11 +43,9 @@ PageWalker::walk(vm::Process &proc, Addr canonical_va, AccessType type,
         const Addr entry_paddr = table->entryPaddrFor(canonical_va);
 
         // Upper levels consult the PWC; the final pte_t never does.
-        bool from_pwc = false;
         if (level >= LevelPmd && pwc_.lookup(level, entry_paddr)) {
             result.cycles += pwc_.accessCycles();
             ++pwc_steps;
-            from_pwc = true;
         } else {
             const auto mem = hierarchy_.access(core_id_, entry_paddr,
                                                AccessType::Read,
@@ -58,8 +56,6 @@ PageWalker::walk(vm::Process &proc, Addr canonical_va, AccessType type,
             ++mem_steps;
             if (level >= LevelPmd)
                 pwc_.fill(level, entry_paddr);
-            else
-                (void)from_pwc;
         }
 
         if (!entry.present()) {

@@ -13,6 +13,8 @@ Tlb::Tlb(const TlbParams &params, stats::StatGroup *parent)
     bf_assert(params_.entries % params_.assoc == 0,
               "TLB ", params_.name, ": entries not divisible by assoc");
     num_sets_ = params_.entries / params_.assoc;
+    sets_pow2_ = (num_sets_ & (num_sets_ - 1)) == 0;
+    set_mask_ = num_sets_ - 1;
     entries_.resize(params_.entries);
 
     stat_group_.addStat("hits", &hits);
@@ -129,6 +131,8 @@ Tlb::fill(const TlbEntry &new_entry, bool shared_dedup)
                 victim = &entry;
         }
     }
+    if (!victim->valid)
+        ++valid_count_;
     *victim = new_entry;
     victim->valid = true;
     victim->lru = ++lru_clock_;
@@ -143,6 +147,7 @@ Tlb::invalidatePage(Pcid pcid, Vpn vpn)
         TlbEntry &entry = base[way];
         if (entry.valid && entry.vpn == vpn && entry.pcid == pcid) {
             entry.valid = false;
+            --valid_count_;
             ++invalidations;
         }
     }
@@ -156,6 +161,7 @@ Tlb::invalidateSharedRange(Ccid ccid, Vpn first, std::uint64_t count)
         if (entry.valid && !entry.owned && entry.ccid == ccid &&
             entry.vpn >= first && entry.vpn < first + count) {
             entry.valid = false;
+            --valid_count_;
             ++invalidations;
         }
     }
@@ -167,6 +173,7 @@ Tlb::invalidatePcid(Pcid pcid)
     for (auto &entry : entries_) {
         if (entry.valid && entry.pcid == pcid) {
             entry.valid = false;
+            --valid_count_;
             ++invalidations;
         }
     }
@@ -177,13 +184,13 @@ Tlb::invalidateAll()
 {
     for (auto &entry : entries_)
         entry.valid = false;
+    valid_count_ = 0;
 }
 
 const TlbEntry *
 Tlb::probe(Vpn vpn, Pcid pcid) const
 {
-    const unsigned set = vpn % num_sets_;
-    const TlbEntry *base = &entries_[set * params_.assoc];
+    const TlbEntry *base = setBase(vpn);
     for (unsigned way = 0; way < params_.assoc; ++way) {
         if (base[way].valid && base[way].vpn == vpn &&
             base[way].pcid == pcid)
@@ -193,13 +200,24 @@ Tlb::probe(Vpn vpn, Pcid pcid) const
 }
 
 unsigned
-Tlb::validCount() const
+Tlb::recountValid() const
 {
     unsigned count = 0;
     for (const auto &entry : entries_)
         if (entry.valid)
             ++count;
     return count;
+}
+
+unsigned
+Tlb::validCount() const
+{
+#ifndef NDEBUG
+    bf_assert(recountValid() == valid_count_,
+              "TLB ", params_.name, ": valid_count_ (", valid_count_,
+              ") out of sync with scan (", recountValid(), ")");
+#endif
+    return valid_count_;
 }
 
 void

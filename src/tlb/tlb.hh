@@ -104,7 +104,11 @@ class Tlb
     /** Probe without stats/LRU side effects (tests). */
     const TlbEntry *probe(Vpn vpn, Pcid pcid) const;
 
-    /** Number of valid entries. */
+    /**
+     * Number of valid entries. O(1): a counter maintained by fill and
+     * the invalidate paths; debug builds cross-check it against a full
+     * scan.
+     */
     unsigned validCount() const;
 
     const TlbParams &params() const { return params_; }
@@ -123,14 +127,38 @@ class Tlb
   private:
     TlbParams params_;
     unsigned num_sets_;
+    std::uint64_t set_mask_ = 0;    //!< num_sets_ - 1 when pow2.
+    bool sets_pow2_ = false;
+    unsigned valid_count_ = 0;
     std::vector<TlbEntry> entries_; //!< set-major.
     std::uint64_t lru_clock_ = 0;
 
     stats::StatGroup stat_group_;
 
-    unsigned setIndex(Vpn vpn) const { return vpn % num_sets_; }
+    /**
+     * Set selection. Unlike the caches, a TLB's set count is not
+     * guaranteed to be a power of two (entries/assoc is arbitrary), so
+     * the constructor precomputes whether the modulo reduces to a mask
+     * and this helper — shared by the lookup, fill, invalidate and
+     * probe paths — picks the divide-free form when it can.
+     */
+    unsigned
+    setIndex(Vpn vpn) const
+    {
+        return sets_pow2_ ? static_cast<unsigned>(vpn & set_mask_)
+                          : static_cast<unsigned>(vpn % num_sets_);
+    }
+
     TlbEntry *setBase(Vpn vpn) { return &entries_[setIndex(vpn) *
                                                   params_.assoc]; }
+    const TlbEntry *
+    setBase(Vpn vpn) const
+    {
+        return &entries_[setIndex(vpn) * params_.assoc];
+    }
+
+    /** Full-scan recount, for the debug cross-check of valid_count_. */
+    unsigned recountValid() const;
 };
 
 } // namespace bf::tlb

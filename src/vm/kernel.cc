@@ -457,6 +457,7 @@ Kernel::privatizeLeafTable(Process &proc, Addr va,
             return nullptr;
         }
         proc.setBitIn(mask_region, bit);
+        ++group.mask_generation; // Cached processBit() answers are stale.
     }
 
     const unsigned pmd_index = tableIndex(va, level + 1);
@@ -561,6 +562,7 @@ Kernel::revertMaskRegion(Group &group, Addr mask_region_base)
     }
 
     group.mask_fallback[mask_region_base] = true;
+    ++group.mask_generation;
 }
 
 FaultOutcome
@@ -1036,6 +1038,9 @@ Kernel::exitProcess(Process &proc)
     proc.markDead();
     std::erase(group.members, proc.pid());
     processes_.erase(proc.pid());
+    // Pids are never reused, so stale {pid, region} cache entries can
+    // never match a future process — the bump is belt and braces.
+    ++group.mask_generation;
 }
 
 MaskPage *
@@ -1058,6 +1063,11 @@ Kernel::maskFor(Ccid ccid, Addr canonical_va)
 int
 Kernel::processBit(const Process &proc, Addr canonical_va) const
 {
+    // Fast path: a process that never CoW'ed in a shared region owns no
+    // bit anywhere, and that is the overwhelmingly common translate-time
+    // case. One flag test, no per-level region lookups.
+    if (!proc.hasMaskBits())
+        return -1;
     for (int leaf_level : {LevelPte, LevelPmd, LevelPud}) {
         const Addr base = tableBase(canonical_va, leaf_level + 1);
         const int bit = proc.bitIn(base);
@@ -1065,6 +1075,13 @@ Kernel::processBit(const Process &proc, Addr canonical_va) const
             return bit;
     }
     return -1;
+}
+
+const std::uint64_t *
+Kernel::maskGenerationPtr(Ccid ccid) const
+{
+    const auto it = groups_.find(ccid);
+    return it == groups_.end() ? nullptr : &it->second.mask_generation;
 }
 
 void

@@ -201,8 +201,18 @@ class Kernel
     /**
      * PC-bitmask bit index of a process for the mask region covering
      * @p canonical_va, or -1 when the process never CoW'ed there.
+     * O(1) for the common process with no private copies anywhere
+     * (Process::hasMaskBits), O(log regions) otherwise.
      */
     int processBit(const Process &proc, Addr canonical_va) const;
+
+    /**
+     * Address of a group's mask-generation counter, or nullptr for an
+     * unknown CCID. The counter's address is stable for the life of the
+     * Kernel (groups are never destroyed); MMUs watch it to know when a
+     * cached processBit() answer may be stale.
+     */
+    const std::uint64_t *maskGenerationPtr(Ccid ccid) const;
 
     /** Register the TLB shootdown callback (System wires the MMUs in). */
     void setTlbInvalidateHook(TlbInvalidateFn hook) { tlb_hook_ = std::move(hook); }
@@ -274,6 +284,14 @@ class Kernel
         std::map<SharedTableKey, SharedTableRecord> shared_tables;
         std::map<Addr, std::unique_ptr<MaskPage>> masks; //!< By region base.
         std::map<Addr, bool> mask_fallback; //!< Regions past 32 writers.
+        /**
+         * Bumped whenever mask/PC-bitmask bookkeeping that can change a
+         * processBit() answer mutates (bit assignment, region revert,
+         * process exit). MMUs cache processBit() per {pid, region} and
+         * use this counter to invalidate (see Mmu::cachedProcessBit);
+         * starts at 1 so a zero-initialized cache never matches.
+         */
+        std::uint64_t mask_generation = 1;
     };
 
     KernelParams params_;

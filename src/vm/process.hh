@@ -9,8 +9,9 @@
 #ifndef BF_VM_PROCESS_HH
 #define BF_VM_PROCESS_HH
 
-#include <map>
+#include <algorithm>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/logging.hh"
@@ -91,15 +92,41 @@ class Process
      * @name BabelFish PC-bitmask bit assignment
      * Bit index this process owns in the MaskPage covering a region
      * (assigned at the first CoW there), keyed by mask-region base VA.
+     *
+     * Kept as a flat sorted vector: the set is tiny (one entry per
+     * 1 GB region the process CoW'ed in) and bitIn() sits on the MMU's
+     * translate path, where a binary search over contiguous storage
+     * beats chasing std::map nodes. hasMaskBits() lets callers skip
+     * the search entirely for the common process that never CoW'ed.
      */
+    bool hasMaskBits() const { return !mask_bits_.empty(); }
+
     int
     bitIn(Addr mask_region) const
     {
-        auto it = mask_bits_.find(mask_region);
-        return it == mask_bits_.end() ? -1 : it->second;
+        const auto it = std::lower_bound(
+            mask_bits_.begin(), mask_bits_.end(), mask_region,
+            [](const std::pair<Addr, int> &e, Addr key) {
+                return e.first < key;
+            });
+        return it != mask_bits_.end() && it->first == mask_region
+                   ? it->second
+                   : -1;
     }
 
-    void setBitIn(Addr mask_region, int bit) { mask_bits_[mask_region] = bit; }
+    void
+    setBitIn(Addr mask_region, int bit)
+    {
+        const auto it = std::lower_bound(
+            mask_bits_.begin(), mask_bits_.end(), mask_region,
+            [](const std::pair<Addr, int> &e, Addr key) {
+                return e.first < key;
+            });
+        if (it != mask_bits_.end() && it->first == mask_region)
+            it->second = bit;
+        else
+            mask_bits_.insert(it, { mask_region, bit });
+    }
     /** @} */
 
     /** @{ @name ASLR state */
@@ -115,7 +142,7 @@ class Process
     PageTablePage *pgd_;
     bool alive_ = true;
     std::vector<Vma> vmas_;
-    std::map<Addr, int> mask_bits_;
+    std::vector<std::pair<Addr, int>> mask_bits_; //!< Sorted by region.
 };
 
 } // namespace bf::vm

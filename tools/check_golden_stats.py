@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Golden-stats determinism check.
+
+Runs a bench binary with a pinned deterministic configuration and diffs
+its exported JSON stats tree against a committed golden file. The
+architectural stats (every counter under "runs", the headline "metrics",
+"capped_runs", and the deterministic "config" knobs) must match exactly
+— host-side optimizations are only allowed to move the host-timing
+sections, never the modeled machine.
+
+Ignored fields, by design:
+  - schema_version      (additive schema growth is fine)
+  - config.jobs         (thread count of the bench runner; stats are
+                         identical across BF_JOBS by construction)
+  - host, notes         (host wall-clock / sim-MIPS and bookkeeping)
+  - series              (present for completeness; compared when both
+                         sides have it)
+
+Usage:
+  check_golden_stats.py --bench PATH --golden GOLDEN.json [--update]
+  check_golden_stats.py --json PRODUCED.json --golden GOLDEN.json
+
+With --bench the bench is run under the pinned environment
+(BF_FAST=1 BF_SAMPLE_MS=0 BF_JOBS=1) into a temp directory. --update
+rewrites the golden file from the produced output instead of diffing.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+# Top-level keys that describe the host, not the modeled machine.
+IGNORED_TOP_LEVEL = ("schema_version", "host", "notes")
+IGNORED_CONFIG_KEYS = ("jobs",)
+
+PINNED_ENV = {
+    "BF_FAST": "1",
+    "BF_SAMPLE_MS": "0",
+    "BF_JOBS": "1",
+    "BF_JSON": "1",
+}
+
+
+def strip_ignored(doc):
+    doc = dict(doc)
+    for key in IGNORED_TOP_LEVEL:
+        doc.pop(key, None)
+    config = dict(doc.get("config", {}))
+    for key in IGNORED_CONFIG_KEYS:
+        config.pop(key, None)
+    doc["config"] = config
+    return doc
+
+
+def diff(path, golden, produced, out, limit=50):
+    """Recursively collect differing paths between two JSON values."""
+    if len(out) >= limit:
+        return
+    if type(golden) is not type(produced):
+        out.append(f"{path}: type {type(golden).__name__} != "
+                   f"{type(produced).__name__}")
+        return
+    if isinstance(golden, dict):
+        for key in sorted(set(golden) | set(produced)):
+            if key not in golden:
+                out.append(f"{path}.{key}: only in produced")
+            elif key not in produced:
+                out.append(f"{path}.{key}: only in golden")
+            else:
+                diff(f"{path}.{key}", golden[key], produced[key], out,
+                     limit)
+    elif isinstance(golden, list):
+        if len(golden) != len(produced):
+            out.append(f"{path}: length {len(golden)} != {len(produced)}")
+            return
+        for i, (g, p) in enumerate(zip(golden, produced)):
+            diff(f"{path}[{i}]", g, p, out, limit)
+    elif golden != produced:
+        out.append(f"{path}: {golden!r} != {produced!r}")
+
+
+def run_bench(bench, out_dir):
+    env = dict(os.environ)
+    env.update(PINNED_ENV)
+    env["BF_JSON_DIR"] = out_dir
+    subprocess.run([bench], env=env, check=True, stdout=subprocess.DEVNULL)
+    reports = [f for f in os.listdir(out_dir) if f.startswith("BENCH_")]
+    if len(reports) != 1:
+        sys.exit(f"expected exactly one BENCH_*.json in {out_dir}, "
+                 f"got {reports}")
+    return os.path.join(out_dir, reports[0])
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--bench", help="bench binary to run deterministically")
+    ap.add_argument("--json", help="pre-produced BENCH_*.json to check")
+    ap.add_argument("--golden", required=True, help="committed golden file")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the golden file from the produced output")
+    args = ap.parse_args()
+    if bool(args.bench) == bool(args.json):
+        ap.error("exactly one of --bench / --json is required")
+
+    if args.bench:
+        with tempfile.TemporaryDirectory() as tmp:
+            produced_path = run_bench(args.bench, tmp)
+            with open(produced_path) as f:
+                produced = json.load(f)
+    else:
+        with open(args.json) as f:
+            produced = json.load(f)
+
+    if args.update:
+        with open(args.golden, "w") as f:
+            json.dump(produced, f, separators=(",", ":"))
+            f.write("\n")
+        print(f"updated {args.golden}")
+        return
+
+    with open(args.golden) as f:
+        golden = json.load(f)
+
+    problems = []
+    diff("$", strip_ignored(golden), strip_ignored(produced), problems)
+    if problems:
+        print(f"STAT DRIFT: {len(problems)}+ differences vs {args.golden}")
+        for p in problems:
+            print(f"  {p}")
+        sys.exit(1)
+    print(f"golden stats match ({args.golden})")
+
+
+if __name__ == "__main__":
+    main()
