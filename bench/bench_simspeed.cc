@@ -15,19 +15,25 @@
  * Environment knobs (on top of bench/common.hh's):
  *   BF_REPEAT=n         time each workload n times, keep the fastest
  *                       (default 1; use 3+ for recorded numbers).
- *   BF_BASELINE_MIPS=x  baseline aggregate MIPS to compute the speedup
- *                       note against (default: the value recorded on
- *                       the pre-optimization commit, see BENCH_simspeed
- *                       .json note fields).
+ *   BF_BASELINE=path    a prior BENCH_simspeed.json whose metrics
+ *                       .sim_mips is the baseline for the speedup note.
+ *   BF_BASELINE_MIPS=x  numeric baseline override (wins over
+ *                       BF_BASELINE).
+ * Without a baseline the speedup note is omitted — there is no
+ * hard-coded reference value, so numbers from different machines never
+ * get compared silently.
  *
  * The mix always runs serially (BF_JOBS is ignored): wall-clock timing
  * of concurrent cells would measure scheduler contention, not the
- * simulator.
+ * simulator. BF_WORKERS *is* honored — it parallelizes inside each
+ * System and is exactly what this bench exists to measure.
  */
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -38,10 +44,30 @@ using namespace bfbench;
 namespace
 {
 
-/** Recorded aggregate sim-MIPS of the seed (pre-optimization) commit on
- * the reference machine, for the default speedup note. Override with
- * BF_BASELINE_MIPS when re-baselining on different hardware. */
-constexpr double kDefaultBaselineMips = 589.19;
+/**
+ * Baseline aggregate sim-MIPS from a prior BENCH_simspeed.json given
+ * via BF_BASELINE: the value of the "sim_mips" key (the report writer
+ * emits it once, in metrics). Returns 0 when unset or unparsable.
+ */
+double
+baselineFromFile(const char *path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "BF_BASELINE: cannot read %s\n", path);
+        return 0;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    const std::string key = "\"sim_mips\":";
+    const auto pos = text.find(key);
+    if (pos == std::string::npos) {
+        std::fprintf(stderr, "BF_BASELINE: no sim_mips in %s\n", path);
+        return 0;
+    }
+    return std::atof(text.c_str() + pos + key.size());
+}
 
 /** One timed simulation: host seconds and simulated instructions. */
 struct SpeedSample
@@ -64,6 +90,7 @@ timeApp(const workloads::AppProfile &profile, core::SystemParams params,
         const RunConfig &cfg)
 {
     params.num_cores = cfg.num_cores;
+    cfg.applyExecKnobs(params);
     core::System sys(params);
 
     const unsigned n = cfg.num_cores * cfg.containers_per_core;
@@ -87,6 +114,7 @@ SpeedSample
 timeFaas(core::SystemParams params, bool sparse, const RunConfig &cfg)
 {
     params.num_cores = 1;
+    cfg.applyExecKnobs(params);
     params.core.quantum = msToCycles(0.5);
     core::System sys(params);
 
@@ -137,7 +165,9 @@ main()
     unsigned repeats = 1;
     if (const char *r = std::getenv("BF_REPEAT"))
         repeats = std::max(1, std::atoi(r));
-    double baseline_mips = kDefaultBaselineMips;
+    double baseline_mips = 0;
+    if (const char *b = std::getenv("BF_BASELINE"))
+        baseline_mips = baselineFromFile(b);
     if (const char *b = std::getenv("BF_BASELINE_MIPS"))
         baseline_mips = std::atof(b);
 

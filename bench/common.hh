@@ -14,6 +14,10 @@
  *   BF_MEASURE_MS  override the measurement window.
  *   BF_JOBS=n      worker threads for independent configurations
  *                  (default: hardware concurrency; 1 = serial).
+ *   BF_WORKERS=n   host threads for the bound phase INSIDE each System
+ *                  (default 1; stats are byte-identical at any value).
+ *   BF_SYNC_CHUNK  lockstep sync-chunk length in cycles (default
+ *                  20000; must be > 0).
  *   BF_SAMPLE_MS   time-series sampling period (default 1 ms of
  *                  simulated time; 0 disables sampling).
  *   BF_JSON=0      skip the BENCH_<name>.json report.
@@ -23,6 +27,7 @@
 #ifndef BF_BENCH_COMMON_HH
 #define BF_BENCH_COMMON_HH
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
@@ -51,6 +56,8 @@ struct RunConfig
     double measure_ms = 35;
     double sample_ms = 1;      //!< Time-series period; 0 = off.
     unsigned jobs = 0;         //!< Worker threads; 0 = hardware.
+    unsigned system_workers = 1; //!< Bound-phase threads per System.
+    Cycles sync_chunk = 20000;   //!< Lockstep chunk length in cycles.
     std::uint64_t seed = 42;
 
     static RunConfig
@@ -71,7 +78,28 @@ struct RunConfig
             cfg.sample_ms = std::atof(ms);
         if (const char *jobs = std::getenv("BF_JOBS"))
             cfg.jobs = static_cast<unsigned>(std::atoi(jobs));
+        if (const char *workers = std::getenv("BF_WORKERS"))
+            cfg.system_workers =
+                std::max(1, std::atoi(workers));
+        if (const char *chunk = std::getenv("BF_SYNC_CHUNK")) {
+            const long long value = std::atoll(chunk);
+            if (value <= 0) {
+                std::fprintf(stderr,
+                             "BF_SYNC_CHUNK must be > 0 (got %s)\n",
+                             chunk);
+                std::exit(2);
+            }
+            cfg.sync_chunk = static_cast<Cycles>(value);
+        }
         return cfg;
+    }
+
+    /** Stamp the System-execution knobs into a parameter set. */
+    void
+    applyExecKnobs(core::SystemParams &params) const
+    {
+        params.workers = system_workers;
+        params.sync_chunk = sync_chunk;
     }
 
     /** Sampling period in cycles (0 = sampling off). */
@@ -110,6 +138,8 @@ reportConfig(BenchReport &report, const RunConfig &cfg)
     report.config("measure_ms", cfg.measure_ms);
     report.config("sample_ms", cfg.sample_ms);
     report.config("jobs", cfg.workers());
+    report.config("workers", cfg.system_workers);
+    report.config("sync_chunk", static_cast<double>(cfg.sync_chunk));
     report.config("seed", static_cast<double>(cfg.seed));
 }
 
@@ -152,6 +182,7 @@ runApp(const workloads::AppProfile &profile,
        core::SystemParams params, const RunConfig &cfg)
 {
     params.num_cores = cfg.num_cores;
+    cfg.applyExecKnobs(params);
     core::System sys(params);
     if (cfg.sampleInterval())
         sys.enableSampling(cfg.sampleInterval());
@@ -251,6 +282,7 @@ inline FaasRunResult
 runFaas(core::SystemParams params, bool sparse, const RunConfig &cfg)
 {
     params.num_cores = 1;
+    cfg.applyExecKnobs(params);
     // Functions are latency-sensitive; a fine quantum interleaves the
     // three short-lived containers as the FaaS runtime does (their
     // bring-ups genuinely overlap in time).

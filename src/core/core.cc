@@ -56,6 +56,8 @@ Core::noteFinished(std::size_t idx) const
 bool
 Core::busy() const
 {
+    if (has_pending_)
+        return true; // a stalled reference still has to complete
     if (done_count_ == threads_.size())
         return false;
     for (std::size_t i = 0; i < threads_.size(); ++i) {
@@ -104,38 +106,72 @@ Core::runUntil(Cycles until)
     }
 
     while (now_ < until) {
-        Thread *thread = threads_[current_];
-        if (noteFinished(current_) || quantum_left_ == 0) {
-            if (!scheduleNext()) {
-                now_ = until; // everyone finished: idle to the barrier
-                return;
-            }
-            continue;
-        }
+        if (blocked_)
+            return; // suspended on a deferred fault; System resumes us
 
+        Thread *thread = threads_[current_];
         MemRef ref;
-        if (!thread->next(ref)) {
-            // Thread just ran to completion.
-            noteFinished(current_);
-            if (!scheduleNext()) {
-                now_ = until;
-                return;
+        Cycles base = 0;
+
+        if (has_pending_) {
+            // Re-issue the reference that stalled on a deferred fault.
+            // Its base pipeline time was charged when it first issued.
+            ref = pending_ref_;
+        } else {
+            if (noteFinished(current_) || quantum_left_ == 0) {
+                if (!scheduleNext()) {
+                    now_ = until; // everyone finished: idle to barrier
+                    return;
+                }
+                continue;
             }
-            continue;
+
+            if (!thread->next(ref)) {
+                // Thread just ran to completion.
+                noteFinished(current_);
+                if (!scheduleNext()) {
+                    now_ = until;
+                    return;
+                }
+                continue;
+            }
+
+            // Base pipeline time for the instructions retired with this
+            // ref.
+            cpi_accum_ += params_.base_cpi * ref.instrs;
+            base = static_cast<Cycles>(cpi_accum_);
+            cpi_accum_ -= static_cast<double>(base);
         }
 
         vm::Process *proc = thread->process();
         bf_assert(proc, "thread without process");
 
-        // Base pipeline time for the instructions retired with this ref.
-        cpi_accum_ += params_.base_cpi * ref.instrs;
-        const auto base = static_cast<Cycles>(cpi_accum_);
-        cpi_accum_ -= static_cast<double>(base);
-
         const Translation tr =
-            mmu_->translate(*proc, ref.va, ref.type, now_);
+            mmu_->translate(*proc, ref.va, ref.type, now_ + base);
 
-        const auto mem = hierarchy_.access(id_, tr.paddr, ref.type, now_);
+        if (tr.blocked) {
+            // Deferred fault: charge the probe time spent so far and
+            // suspend until System services the fault.
+            const Cycles spent = base + tr.cycles;
+            now_ += spent;
+            busy_cycles += spent;
+            translation_cycles += tr.cycles;
+            quantum_left_ -= std::min<Cycles>(quantum_left_, spent);
+            pending_ref_ = ref;
+            has_pending_ = true;
+            blocked_ = true;
+            bf_assert(++pending_retries_ < 64,
+                      "deferred fault did not converge at va=", ref.va);
+            return;
+        }
+        has_pending_ = false;
+        pending_retries_ = 0;
+
+        // The access issues once the pipeline and translation time have
+        // elapsed — the timestamp orders this core's events against the
+        // other cores' in the weave (and against DRAM bank state).
+        const auto mem = hierarchy_.access(id_, tr.paddr, ref.type,
+                                           now_ + base + tr.cycles);
 
         const Cycles spent = base + tr.cycles + mem.latency;
         now_ += spent;
@@ -156,6 +192,29 @@ Core::runUntil(Cycles until)
             }
         }
     }
+}
+
+void
+Core::resolveFault(Cycles fault_cycles)
+{
+    bf_assert(blocked_, "resolveFault on a core that is not blocked");
+    now_ += fault_cycles;
+    busy_cycles += fault_cycles;
+    translation_cycles += fault_cycles;
+    quantum_left_ -= std::min<Cycles>(quantum_left_, fault_cycles);
+    blocked_ = false;
+}
+
+void
+Core::applyWeaveAdjustment(Cycles data_extra, Cycles walk_extra)
+{
+    const Cycles total = data_extra + walk_extra;
+    now_ += total;
+    busy_cycles += total;
+    data_cycles += data_extra;
+    translation_cycles += walk_extra;
+    if (walk_extra)
+        mmu_->walker().walk_cycles += walk_extra;
 }
 
 void

@@ -48,8 +48,31 @@ class Core
     /**
      * Execute until the clock reaches @p until (or the run queue
      * empties). The scheduler rotates threads every quantum.
+     *
+     * With an active epoch log the core may suspend mid-chunk on a
+     * deferred page fault (faultBlocked()); System services the fault
+     * single-threaded, calls resolveFault(), and re-invokes runUntil to
+     * resume the stalled reference.
      */
     void runUntil(Cycles until);
+
+    /** Suspended on a deferred fault, waiting for System to service it. */
+    bool faultBlocked() const { return blocked_; }
+
+    /**
+     * Unblock after a deferred fault was serviced: charge the kernel
+     * time (it is translation time, as in the serial retry loop) and
+     * let the next runUntil re-issue the stalled reference.
+     */
+    void resolveFault(Cycles fault_cycles);
+
+    /**
+     * Bill the weave-phase latency excess of this core's deferred
+     * accesses (the DRAM time beyond the bound-phase L3 estimate).
+     * @param data_extra excess of data/ifetch accesses.
+     * @param walk_extra excess of page-walker accesses.
+     */
+    void applyWeaveAdjustment(Cycles data_extra, Cycles walk_extra);
 
     Mmu &mmu() { return *mmu_; }
     unsigned id() const { return id_; }
@@ -87,6 +110,13 @@ class Core
     Cycles now_ = 0;
     Cycles quantum_left_ = 0;
     double cpi_accum_ = 0; //!< Fractional base-CPI carry.
+
+    /** @{ @name Deferred-fault suspension (bound phases only) */
+    MemRef pending_ref_{};  //!< The reference stalled on the fault.
+    bool blocked_ = false;  //!< Waiting for System to service the fault.
+    bool has_pending_ = false; //!< pending_ref_ must be re-issued.
+    unsigned pending_retries_ = 0; //!< Convergence guard per reference.
+    /** @} */
 
     /** finished() of one thread, through (and updating) the cache. */
     bool noteFinished(std::size_t idx) const;

@@ -1,0 +1,82 @@
+#include "core/epoch.hh"
+
+namespace bf::core
+{
+
+namespace
+{
+
+/** Spin briefly on @p cond, then fall back to yielding. */
+template <typename Cond>
+void
+spinUntil(Cond cond)
+{
+    unsigned spins = 0;
+    while (!cond()) {
+        if (++spins > 4096) {
+            std::this_thread::yield();
+            spins = 0;
+        }
+    }
+}
+
+} // namespace
+
+BoundPool::BoundPool(unsigned extra_workers)
+    : stripe_count_(extra_workers + 1)
+{
+    threads_.reserve(extra_workers);
+    for (unsigned i = 0; i < extra_workers; ++i)
+        threads_.emplace_back([this, i] { workerLoop(i + 1); });
+}
+
+BoundPool::~BoundPool()
+{
+    stop_.store(true, std::memory_order_release);
+    generation_.fetch_add(1, std::memory_order_release);
+    for (auto &t : threads_)
+        t.join();
+}
+
+void
+BoundPool::workerLoop(unsigned stripe)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        spinUntil([&] {
+            return generation_.load(std::memory_order_acquire) != seen;
+        });
+        if (stop_.load(std::memory_order_acquire))
+            return;
+        seen = generation_.load(std::memory_order_acquire);
+        const auto &fn = *job_;
+        for (unsigned i = stripe; i < n_; i += stripe_count_)
+            fn(i);
+        // Last touch of round state: after this the worker only reads
+        // generation_, so the caller may safely set up the next round.
+        done_.fetch_add(1, std::memory_order_release);
+    }
+}
+
+void
+BoundPool::run(unsigned n, const std::function<void(unsigned)> &fn)
+{
+    if (threads_.empty() || n <= 1) {
+        for (unsigned i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    job_ = &fn;
+    n_ = n;
+    done_.store(0, std::memory_order_relaxed);
+    generation_.fetch_add(1, std::memory_order_release);
+    for (unsigned i = 0; i < n; i += stripe_count_)
+        fn(i);
+    const unsigned workers = static_cast<unsigned>(threads_.size());
+    spinUntil([&] {
+        return done_.load(std::memory_order_acquire) == workers;
+    });
+    job_ = nullptr;
+}
+
+} // namespace bf::core

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Bound/weave epoch machinery for deterministic parallel simulation.
+ *
+ * System::run() advances the machine in sync chunks. Within a chunk each
+ * core executes a *bound* phase that touches only per-core-private state
+ * (L1/L2 caches, TLBs, PWC, MMU caches, per-core stats); everything that
+ * would touch a shared level — an L2 cache miss into L3/DRAM, a
+ * coherence probe of peer caches, a kernel page fault — is recorded in
+ * the core's EpochLog with a deterministic timestamp instead of being
+ * performed. A single-threaded *weave* phase then drains the merged logs
+ * in canonical (timestamp, core, seq) order against the shared L3, DRAM
+ * and kernel, producing the authoritative latencies, fills, LRU updates
+ * and statistics.
+ *
+ * Because the per-core bound execution is independent of how cores are
+ * scheduled onto host threads, and both the fault-service and weave
+ * drains use a canonical order, the simulated machine is byte-identical
+ * at every worker count — `workers=1` runs the exact same algorithm
+ * inline. The golden-stats gate and test_parallel_system lock this down.
+ */
+
+#ifndef BF_CORE_EPOCH_HH
+#define BF_CORE_EPOCH_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "vm/kernel.hh"
+
+namespace bf::core
+{
+
+/** One deferred shared-level memory event from a bound phase. */
+struct EpochEvent
+{
+    Cycles timestamp = 0;     //!< Deterministic issue time (core clock).
+    std::uint32_t seq = 0;    //!< Per-core issue order (merge tiebreak).
+    Addr paddr = 0;
+    AccessType type = AccessType::Read;
+    bool probe_only = false;  //!< Coherence probe of an L1/L2 write hit.
+    bool from_walker = false; //!< Walk step: excess bills translation time.
+};
+
+/**
+ * Per-core event log of one sync chunk. The owning core appends during
+ * its bound execution; the weave drains all cores' logs single-threaded.
+ * While inactive (outside System::run) the hierarchy and MMU take their
+ * historical immediate paths, so direct calls from tests are unchanged.
+ */
+class EpochLog
+{
+  public:
+    bool active() const { return active_; }
+    void activate() { active_ = true; }
+    void deactivate() { active_ = false; }
+
+    /** Record an L2-miss access deferred to the shared levels. */
+    void
+    appendAccess(Cycles ts, Addr paddr, AccessType type, bool from_walker)
+    {
+        events_.push_back({ts, seq_++, paddr, type, false, from_walker});
+    }
+
+    /** Record a coherence probe for an L1/L2 write hit. */
+    void
+    appendProbe(Cycles ts, Addr paddr)
+    {
+        events_.push_back({ts, seq_++, paddr, AccessType::Write, true,
+                           false});
+    }
+
+    /** @{ @name Deferred page fault (at most one; the core suspends) */
+    bool faultPending() const { return fault_pending_; }
+
+    void
+    deferFault(const vm::DeferredFault &fault, Cycles ts)
+    {
+        bf_assert(!fault_pending_, "second fault deferred while blocked");
+        fault_ = fault;
+        fault_ts_ = ts;
+        fault_pending_ = true;
+    }
+
+    const vm::DeferredFault &fault() const { return fault_; }
+    Cycles faultTime() const { return fault_ts_; }
+    void clearFault() { fault_pending_ = false; }
+    /** @} */
+
+    const std::vector<EpochEvent> &events() const { return events_; }
+
+    /** Drop drained events; keeps capacity for the next chunk. */
+    void
+    clearEvents()
+    {
+        events_.clear();
+        seq_ = 0;
+    }
+
+  private:
+    std::vector<EpochEvent> events_;
+    vm::DeferredFault fault_{};
+    Cycles fault_ts_ = 0;
+    bool fault_pending_ = false;
+    bool active_ = false;
+    std::uint32_t seq_ = 0;
+};
+
+/**
+ * Persistent worker pool for bound phases.
+ *
+ * A chunked simulation crosses the fork/join point tens of thousands of
+ * times per second, so the pool keeps its threads alive and uses
+ * spin-then-yield waits on atomics rather than re-spawning (a condvar
+ * handoff costs microseconds per round). Work is partitioned statically
+ * — stripe s runs items s, s+S, s+2S, ... — so no worker ever claims
+ * work after its round completed (a dynamic ticket counter would allow
+ * a trailing claim to leak into the next round's reset). Bound-phase
+ * items are fully independent, so the assignment cannot affect
+ * simulated state.
+ */
+class BoundPool
+{
+  public:
+    /** @param extra_workers host threads beyond the calling thread. */
+    explicit BoundPool(unsigned extra_workers);
+    ~BoundPool();
+
+    BoundPool(const BoundPool &) = delete;
+    BoundPool &operator=(const BoundPool &) = delete;
+
+    /**
+     * Run fn(0) ... fn(n-1) across the pool plus the calling thread;
+     * returns once all have completed.
+     */
+    void run(unsigned n, const std::function<void(unsigned)> &fn);
+
+  private:
+    void workerLoop(unsigned stripe);
+
+    std::vector<std::thread> threads_;
+    const unsigned stripe_count_; //!< threads_.size() + 1 (the caller).
+    std::atomic<std::uint64_t> generation_{0};
+    std::atomic<unsigned> done_{0}; //!< Workers finished this round.
+    std::atomic<bool> stop_{false};
+    const std::function<void(unsigned)> *job_ = nullptr;
+    unsigned n_ = 0;
+};
+
+} // namespace bf::core
+
+#endif // BF_CORE_EPOCH_HH

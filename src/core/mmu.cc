@@ -173,6 +173,13 @@ Mmu::translate(vm::Process &proc, Addr canonical_va, AccessType type,
                 // Write to a CoW page: declared as a CoW page fault
                 // (Fig. 8, step 6).
                 const PageSize esize = entry.size;
+                if (epoch_log_ && epoch_log_->active()) {
+                    epoch_log_->deferFault(
+                        {&proc, canonical_va, type, true, esize},
+                        now + result.cycles);
+                    result.blocked = true;
+                    return result;
+                }
                 const auto outcome =
                     kernel_.handleFault(proc, canonical_va, type);
                 bf_assert(outcome.kind != vm::FaultKind::Protection,
@@ -228,6 +235,13 @@ Mmu::translate(vm::Process &proc, Addr canonical_va, AccessType type,
             }
             if (is_write && entry.cow) {
                 const PageSize esize = entry.size;
+                if (epoch_log_ && epoch_log_->active()) {
+                    epoch_log_->deferFault(
+                        {&proc, canonical_va, type, true, esize},
+                        now + result.cycles);
+                    result.blocked = true;
+                    return result;
+                }
                 const auto outcome =
                     kernel_.handleFault(proc, canonical_va, type);
                 bf_assert(outcome.kind != vm::FaultKind::Protection,
@@ -275,6 +289,13 @@ Mmu::translate(vm::Process &proc, Addr canonical_va, AccessType type,
                   " pid=", proc.pid());
 
         // Page fault (not-present or CoW): invoke the OS and retry.
+        if (epoch_log_ && epoch_log_->active()) {
+            epoch_log_->deferFault(
+                {&proc, canonical_va, type, false, PageSize::Size4K},
+                now + result.cycles);
+            result.blocked = true;
+            return result;
+        }
         const auto outcome = kernel_.handleFault(proc, canonical_va, type);
         bf_assert(outcome.kind != vm::FaultKind::Protection,
                   "kernel protection fault at va=", canonical_va,
@@ -291,6 +312,25 @@ Mmu::translate(vm::Process &proc, Addr canonical_va, AccessType type,
         }
     }
     bf_panic("translation did not converge at va=", canonical_va);
+}
+
+void
+Mmu::noteDeferredFault(const vm::FaultOutcome &outcome, bool declared_cow)
+{
+    fault_cycles += outcome.cycles;
+    if (declared_cow) {
+        // The TLB-hit CoW sites count cow_faults unconditionally, even
+        // when the kernel reports a raced fill (FaultKind::None).
+        ++cow_faults;
+        return;
+    }
+    switch (outcome.kind) {
+      case vm::FaultKind::Minor: ++minor_faults; break;
+      case vm::FaultKind::Major: ++major_faults; break;
+      case vm::FaultKind::Cow: ++cow_faults; break;
+      case vm::FaultKind::SharedInstall: ++shared_installs; break;
+      default: break;
+    }
 }
 
 void

@@ -13,6 +13,7 @@
 
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "core/epoch.hh"
 #include "core/params.hh"
 #include "mem/hierarchy.hh"
 #include "tlb/page_walk_cache.hh"
@@ -31,6 +32,13 @@ struct Translation
     Addr paddr = 0;        //!< Physical address of the access.
     PageSize size = PageSize::Size4K;
     bool faulted = false;  //!< Any page fault was taken.
+    /**
+     * Bound phase only: the translation hit a page fault, which was
+     * deferred to the core's epoch log instead of being handled. cycles
+     * holds the probe time spent up to the fault; paddr is invalid. The
+     * core suspends and re-issues after the fault is serviced.
+     */
+    bool blocked = false;
 };
 
 /** One core's memory-management unit. */
@@ -56,6 +64,20 @@ class Mmu
 
     /** Apply a kernel shootdown to every TLB structure of this core. */
     void applyInvalidate(const vm::TlbInvalidate &inv);
+
+    /**
+     * Attach the core's bound-phase event log (System wires it). While
+     * the log is active, translate() defers page faults into it and
+     * returns Translation::blocked instead of calling the kernel.
+     */
+    void setEpochLog(EpochLog *log) { epoch_log_ = log; }
+
+    /**
+     * Book the stats of a serviced deferred fault, mirroring what the
+     * serial retry loop would have counted at the fault site.
+     */
+    void noteDeferredFault(const vm::FaultOutcome &outcome,
+                           bool declared_cow);
 
     /** Drop all TLB and PWC state (tests / phase changes). */
     void flushAll();
@@ -101,6 +123,7 @@ class Mmu
     std::array<std::unique_ptr<tlb::Tlb>, numPageSizes> l2_;
     std::unique_ptr<tlb::Pwc> pwc_;
     std::unique_ptr<tlb::PageWalker> walker_;
+    EpochLog *epoch_log_ = nullptr;
 
     /**
      * One-entry cache of Kernel::processBit for the last {process,

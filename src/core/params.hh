@@ -75,6 +75,20 @@ struct SystemParams
     vm::KernelParams kernel{};
     std::uint64_t seed = 42;
 
+    /**
+     * Lockstep sync-chunk length in cycles: cores run bound phases of
+     * this many cycles between weave points (see core/epoch.hh). Must
+     * be > 0. Benches override via BF_SYNC_CHUNK.
+     */
+    Cycles sync_chunk = 20000;
+
+    /**
+     * Host worker threads for the bound phase, clamped to num_cores.
+     * Stats are byte-identical at every value — 1 runs the same
+     * two-phase algorithm inline. Benches override via BF_WORKERS.
+     */
+    unsigned workers = 1;
+
     /** A fully wired Baseline configuration (no BabelFish anywhere). */
     static SystemParams
     baseline()

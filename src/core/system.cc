@@ -12,6 +12,7 @@ System::System(const SystemParams &params)
 {
     bf_assert(params_.kernel.babelfish || !params_.mmu.l1Sharing(),
               "L1 sharing requires BabelFish kernel");
+    bf_assert(params_.sync_chunk > 0, "sync_chunk must be > 0");
     // Keep MMU and kernel ASLR config coherent.
     params_.mmu.aslr = params_.kernel.aslr;
 
@@ -22,7 +23,16 @@ System::System(const SystemParams &params)
         cores_.push_back(std::make_unique<Core>(
             i, params_.core, params_.mmu, *hierarchy_, *kernel_,
             &stat_group_));
+        epoch_logs_.push_back(std::make_unique<EpochLog>());
+        cores_[i]->mmu().setEpochLog(epoch_logs_[i].get());
+        hierarchy_->setEpochLog(i, epoch_logs_[i].get());
     }
+
+    // More workers than cores cannot help; workers=1 keeps the bound
+    // phase on the calling thread (same algorithm, no pool threads).
+    const unsigned workers = std::min<unsigned>(
+        std::max(1u, params_.workers), params_.num_cores);
+    pool_ = std::make_unique<BoundPool>(workers - 1);
 
     kernel_->setTlbInvalidateHook([this](const vm::TlbInvalidate &inv) {
         for (auto &core : cores_)
@@ -30,6 +40,124 @@ System::System(const SystemParams &params)
     });
 
     stat_group_.addStat("run_capped", &run_capped);
+}
+
+void
+System::runChunk(Cycles barrier)
+{
+    for (auto &log : epoch_logs_)
+        log->activate();
+
+    // Bound: every core advances to the barrier on its own worker,
+    // touching only per-core-private state. Cores that hit a page fault
+    // suspend early with the fault parked in their log.
+    pool_->run(numCores(),
+               [&](unsigned i) { cores_[i]->runUntil(barrier); });
+
+    // Service deferred faults single-threaded in (fault time, core)
+    // order, then resume the suspended cores inline; they may fault
+    // again, so iterate until every core reaches the barrier. No core
+    // is executing here, so the kernel may mutate page tables and
+    // broadcast shootdowns freely.
+    for (;;) {
+        pending_faults_.clear();
+        for (unsigned c = 0; c < numCores(); ++c) {
+            if (epoch_logs_[c]->faultPending())
+                pending_faults_.push_back(
+                    {epoch_logs_[c]->faultTime(), c});
+        }
+        if (pending_faults_.empty())
+            break;
+        std::sort(pending_faults_.begin(), pending_faults_.end(),
+                  [](const PendingFault &a, const PendingFault &b) {
+                      return a.ts != b.ts ? a.ts < b.ts
+                                          : a.core < b.core;
+                  });
+
+        for (const auto &pf : pending_faults_) {
+            EpochLog &log = *epoch_logs_[pf.core];
+            const vm::DeferredFault fault = log.fault();
+            log.clearFault();
+
+            const auto outcome = kernel_->serviceFault(fault);
+            bf_assert(outcome.kind != vm::FaultKind::Protection,
+                      "protection fault at va=", fault.canonical_va,
+                      " pid=", fault.proc->pid());
+
+            Mmu &mmu = cores_[pf.core]->mmu();
+            if (fault.declared_cow &&
+                outcome.kind == vm::FaultKind::None) {
+                // Raced fill: a sibling resolved the page between this
+                // core's TLB fill and the fault — only this core's TLB
+                // copy is stale (the serial path shoots it down too).
+                mmu.applyInvalidate(
+                    {vm::TlbInvalidate::Kind::Page, fault.proc->ccid(),
+                     fault.proc->pcid(),
+                     fault.canonical_va >> pageShift(fault.stale_size),
+                     1, fault.stale_size});
+            }
+            mmu.noteDeferredFault(outcome, fault.declared_cow);
+            cores_[pf.core]->resolveFault(outcome.cycles);
+        }
+
+        // Resume inline: the handful of unblocked cores re-issue their
+        // stalled references (pool dispatch per fault would cost more
+        // than it parallelizes).
+        for (const auto &pf : pending_faults_)
+            cores_[pf.core]->runUntil(barrier);
+    }
+
+    for (auto &log : epoch_logs_)
+        log->deactivate();
+    weave();
+}
+
+void
+System::weave()
+{
+    merge_buf_.clear();
+    for (unsigned c = 0; c < numCores(); ++c) {
+        for (const EpochEvent &ev : epoch_logs_[c]->events())
+            merge_buf_.push_back({ev, c});
+    }
+    if (merge_buf_.empty())
+        return;
+
+    // Canonical order: issue time, then core id, then per-core issue
+    // order. The key is unique, so the replay order — and with it every
+    // L3/DRAM stat, LRU update and fill — is independent of how bound
+    // work was scheduled onto host threads.
+    std::sort(merge_buf_.begin(), merge_buf_.end(),
+              [](const MergedEvent &a, const MergedEvent &b) {
+                  if (a.ev.timestamp != b.ev.timestamp)
+                      return a.ev.timestamp < b.ev.timestamp;
+                  if (a.core != b.core)
+                      return a.core < b.core;
+                  return a.ev.seq < b.ev.seq;
+              });
+
+    data_extra_.assign(numCores(), 0);
+    walk_extra_.assign(numCores(), 0);
+    for (const MergedEvent &m : merge_buf_) {
+        if (m.ev.probe_only) {
+            hierarchy_->weaveProbe(m.core, m.ev.paddr);
+            continue;
+        }
+        const Cycles extra = hierarchy_->weaveAccess(
+            m.core, m.ev.paddr, m.ev.type, m.ev.timestamp);
+        if (m.ev.from_walker)
+            walk_extra_[m.core] += extra;
+        else
+            data_extra_[m.core] += extra;
+    }
+
+    for (unsigned c = 0; c < numCores(); ++c) {
+        if (data_extra_[c] || walk_extra_[c]) {
+            cores_[c]->applyWeaveAdjustment(data_extra_[c],
+                                            walk_extra_[c]);
+        }
+        epoch_logs_[c]->clearEvents();
+    }
 }
 
 void
@@ -109,9 +237,8 @@ System::run(Cycles duration)
 
     Cycles barrier = start;
     while (barrier < end) {
-        barrier = std::min(barrier + syncChunk, end);
-        for (auto &core : cores_)
-            core->runUntil(barrier);
+        barrier = std::min(barrier + params_.sync_chunk, end);
+        runChunk(barrier);
         sampler_.observe(barrier);
     }
 }
@@ -135,9 +262,8 @@ System::runUntilFinished(Cycles max_cycles)
         }
         if (!any_busy)
             return;
-        barrier = std::min(barrier + syncChunk, end);
-        for (auto &core : cores_)
-            core->runUntil(barrier);
+        barrier = std::min(barrier + params_.sync_chunk, end);
+        runChunk(barrier);
         sampler_.observe(barrier);
     }
     ++run_capped;

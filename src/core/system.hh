@@ -24,6 +24,7 @@
 
 #include "common/stats.hh"
 #include "core/core.hh"
+#include "core/epoch.hh"
 #include "core/params.hh"
 #include "core/sampler.hh"
 #include "mem/hierarchy.hh"
@@ -52,6 +53,16 @@ class System
     /**
      * Run for @p duration cycles past the slowest core's current clock,
      * advancing cores in small lockstep chunks.
+     *
+     * Each chunk executes in two phases (core/epoch.hh): a *bound*
+     * phase runs every core on the worker pool (params.workers host
+     * threads) touching only per-core-private state and logging
+     * shared-level events, then a single-threaded *weave* replays the
+     * merged logs in canonical (timestamp, core, seq) order against
+     * the shared L3/DRAM. Page faults suspend their core and are
+     * serviced between bound rounds in (fault time, core) order. The
+     * identical algorithm runs at workers=1, so exported stats are
+     * byte-identical at every worker count.
      */
     void run(Cycles duration);
 
@@ -106,8 +117,33 @@ class System
     std::vector<std::unique_ptr<Core>> cores_;
     StatSampler sampler_;
 
-    /** Lockstep chunk size in cycles. */
-    static constexpr Cycles syncChunk = 20000;
+    /** @{ @name Two-phase chunk execution (see core/epoch.hh) */
+    std::vector<std::unique_ptr<EpochLog>> epoch_logs_; //!< Per core.
+    std::unique_ptr<BoundPool> pool_;
+
+    /** One epoch event tagged with its issuing core, for the merge. */
+    struct MergedEvent
+    {
+        EpochEvent ev;
+        unsigned core;
+    };
+    std::vector<MergedEvent> merge_buf_; //!< Reused across chunks.
+
+    /** A core suspended on a deferred fault, keyed for service order. */
+    struct PendingFault
+    {
+        Cycles ts;
+        unsigned core;
+    };
+    std::vector<PendingFault> pending_faults_; //!< Reused across chunks.
+    std::vector<Cycles> data_extra_;           //!< Weave per-core bill.
+    std::vector<Cycles> walk_extra_;           //!< Weave per-core bill.
+
+    /** Advance every core to @p barrier: bound, fault service, weave. */
+    void runChunk(Cycles barrier);
+    /** Single-threaded replay of the merged logs in canonical order. */
+    void weave();
+    /** @} */
 };
 
 } // namespace bf::core

@@ -35,6 +35,7 @@ CacheHierarchy::CacheHierarchy(const HierarchyParams &params,
     }
     l3_ = std::make_unique<Cache>(params_.l3, &stat_group_);
     dram_ = std::make_unique<Dram>(params_.dram, &stat_group_);
+    epoch_logs_.resize(num_cores_, nullptr);
     // With a single core there are no peer caches to probe, so the
     // coherence walk would only burn host time without touching a stat.
     coherence_active_ = params_.model_coherence && num_cores_ > 1;
@@ -59,12 +60,24 @@ CacheHierarchy::access(unsigned core, Addr paddr, AccessType type,
     Cache *l1 = isIfetch(type) ? l1i_[core].get() : l1d_[core].get();
     bool dirty = false;
 
+    // Bound phase: only the issuing core's private L1/L2 may be touched.
+    // Shared-level work (L3 lookup, DRAM, coherence probes of peers) is
+    // appended to the core's event log and replayed by the weave in
+    // canonical order — see core/epoch.hh.
+    core::EpochLog *log = epoch_logs_[core];
+    if (log && !log->active())
+        log = nullptr;
+
     if (!start_at_l2) {
         result.latency += l1->accessCycles();
         if (l1->accessAndFill(paddr, is_write, dirty)) {
             result.served_by = MemLevel::L1;
-            if (is_write && coherence_active_)
-                probeInvalidate(core, paddr);
+            if (is_write && coherence_active_) {
+                if (log)
+                    log->appendProbe(now + result.latency, paddr);
+                else
+                    probeInvalidate(core, paddr);
+            }
             return result;
         }
     }
@@ -73,6 +86,15 @@ CacheHierarchy::access(unsigned core, Addr paddr, AccessType type,
     result.latency += l2->accessCycles();
     if (l2->accessAndFill(paddr, is_write, dirty)) {
         result.served_by = MemLevel::L2;
+    } else if (log) {
+        // Deferred: charge the deterministic L3 access time now (the
+        // DRAM excess, if any, is billed by the weave) and record the
+        // access. served_by is provisional; the weave owns the L3/DRAM
+        // stats. The write probe is folded into the weave replay.
+        result.latency += l3_->accessCycles();
+        result.served_by = MemLevel::L3;
+        log->appendAccess(now + result.latency, paddr, type, start_at_l2);
+        return result;
     } else {
         result.latency += l3_->accessCycles();
         if (l3_->accessAndFill(paddr, is_write, dirty)) {
@@ -84,9 +106,27 @@ CacheHierarchy::access(unsigned core, Addr paddr, AccessType type,
         }
     }
 
+    if (is_write && coherence_active_) {
+        if (log)
+            log->appendProbe(now + result.latency, paddr);
+        else
+            probeInvalidate(core, paddr);
+    }
+    return result;
+}
+
+Cycles
+CacheHierarchy::weaveAccess(unsigned core, Addr paddr, AccessType type,
+                            Cycles ts)
+{
+    const bool is_write = type == AccessType::Write;
+    bool dirty = false;
+    Cycles extra = 0;
+    if (!l3_->accessAndFill(paddr, is_write, dirty))
+        extra = dram_->access(paddr, ts, is_write);
     if (is_write && coherence_active_)
         probeInvalidate(core, paddr);
-    return result;
+    return extra;
 }
 
 void

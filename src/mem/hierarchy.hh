@@ -17,6 +17,7 @@
 
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "core/epoch.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"
 
@@ -79,6 +80,37 @@ class CacheHierarchy
     MemAccessResult access(unsigned core, Addr paddr, AccessType type,
                            Cycles now, bool start_at_l2 = false);
 
+    /**
+     * Attach a core's bound-phase event log (System wires these in).
+     * While the log is active, access() stops at the private levels: an
+     * L2 miss charges the deterministic L3 access time, appends an event
+     * and returns; coherence probes of write hits are logged likewise.
+     * A null or inactive log restores the historical immediate path.
+     */
+    void
+    setEpochLog(unsigned core, core::EpochLog *log)
+    {
+        epoch_logs_[core] = log;
+    }
+
+    /**
+     * Weave replay of one deferred L2-miss access against the shared
+     * levels, in canonical order. Performs the L3 lookup/fill the bound
+     * phase skipped, the DRAM access on an L3 miss, and the write
+     * coherence probe.
+     * @return latency beyond the bound-phase L3-hit estimate (the DRAM
+     *         portion), to be billed to the issuing core.
+     */
+    Cycles weaveAccess(unsigned core, Addr paddr, AccessType type,
+                       Cycles ts);
+
+    /** Weave replay of a logged write-hit coherence probe. */
+    void
+    weaveProbe(unsigned core, Addr paddr)
+    {
+        probeInvalidate(core, paddr);
+    }
+
     /** Drop every line in every cache. */
     void flushAll();
 
@@ -105,6 +137,7 @@ class CacheHierarchy
     std::vector<std::unique_ptr<Cache>> l2_;
     std::unique_ptr<Cache> l3_;
     std::unique_ptr<Dram> dram_;
+    std::vector<core::EpochLog *> epoch_logs_; //!< Per core; may be null.
 
     void probeInvalidate(unsigned writer_core, Addr paddr);
 };

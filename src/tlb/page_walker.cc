@@ -39,7 +39,11 @@ PageWalker::walk(vm::Process &proc, Addr canonical_va, AccessType type,
 
     for (int level = LevelPgd; level >= LevelPte; --level) {
         bf_assert(table->level() == level, "walk level mismatch");
-        Entry &entry = table->entryFor(canonical_va);
+        // Snapshot the entry: group-shared tables are walked by several
+        // cores at once during bound phases, and a sibling walker may be
+        // ORing A/D bits into this very slot (see Entry::load).
+        Entry &slot = table->entryFor(canonical_va);
+        const Entry entry = slot.load();
         const Addr entry_paddr = table->entryPaddrFor(canonical_va);
 
         // Upper levels consult the PWC; the final pte_t never does.
@@ -91,10 +95,9 @@ PageWalker::walk(vm::Process &proc, Addr canonical_va, AccessType type,
             return result;
         }
 
-        // Hardware A/D update.
-        entry.set(bits::accessed);
-        if (is_write)
-            entry.set(bits::dirty);
+        // Hardware A/D update (atomic: idempotent under concurrent walks).
+        slot.fetchOr(is_write ? bits::accessed | bits::dirty
+                              : bits::accessed);
 
         const PageSize size = entry.huge()
                                   ? leafPageSize(level)

@@ -633,6 +633,13 @@ Kernel::resolveCow(Process &proc, Vma &vma, Addr va,
 }
 
 FaultOutcome
+Kernel::serviceFault(const DeferredFault &fault)
+{
+    bf_assert(fault.proc, "deferred fault without a process");
+    return handleFault(*fault.proc, fault.canonical_va, fault.type);
+}
+
+FaultOutcome
 Kernel::handleFault(Process &proc, Addr canonical_va, AccessType type)
 {
     Vma *vma = proc.findVma(canonical_va);

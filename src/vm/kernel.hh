@@ -53,6 +53,27 @@ struct FaultOutcome
     Cycles cycles = 0; //!< Kernel time to charge the faulting core.
 };
 
+/**
+ * A page fault captured during a bound phase (see core/epoch.hh) and
+ * serviced later through Kernel::serviceFault, outside any parallel
+ * section. Carries everything the MMU knew at the fault site so the
+ * serialized service can reproduce the serial-mode handling exactly.
+ */
+struct DeferredFault
+{
+    Process *proc = nullptr;
+    Addr canonical_va = 0;
+    AccessType type = AccessType::Read;
+    /**
+     * The fault site pre-declared this a CoW fault (a write hit a
+     * TLB entry with the CoW mark) — the MMU counts it as cow_faults
+     * regardless of the service outcome, as the serial path does.
+     */
+    bool declared_cow = false;
+    /** Page size of the stale TLB entry (for the raced-fill shootdown). */
+    PageSize stale_size = PageSize::Size4K;
+};
+
 /** Tunables of the OS model. */
 struct KernelParams
 {
@@ -188,6 +209,14 @@ class Kernel
      */
     FaultOutcome handleFault(Process &proc, Addr canonical_va,
                              AccessType type);
+
+    /**
+     * Service a fault deferred by a bound phase. Must only be called
+     * from a serialized window (no core is executing): fault handling
+     * mutates page tables, MaskPages and sharer counters, and may
+     * broadcast TLB shootdowns through the invalidate hook.
+     */
+    FaultOutcome serviceFault(const DeferredFault &fault);
 
     /** Table object for a physical frame (used by the page walker). */
     PageTablePage *tableByFrame(Ppn frame);

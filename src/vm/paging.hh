@@ -13,6 +13,7 @@
 #ifndef BF_VM_PAGING_HH
 #define BF_VM_PAGING_HH
 
+#include <atomic>
 #include <cstdint>
 
 #include "common/types.hh"
@@ -90,6 +91,33 @@ struct Entry
     }
 
     void clear() { raw = 0; }
+
+    /**
+     * Snapshot of the entry for walkers running concurrently with other
+     * cores' walks. Page tables are read-only during bound phases except
+     * for A/D updates through fetchOr(), so a relaxed load is enough —
+     * like the hardware, a walker decodes one self-consistent 64-bit
+     * value. (atomic_ref on a const object needs C++26, hence the cast.)
+     */
+    Entry
+    load() const
+    {
+        std::atomic_ref<std::uint64_t> ref(const_cast<Entry *>(this)->raw);
+        return Entry{ref.load(std::memory_order_relaxed)};
+    }
+
+    /**
+     * Idempotent bit-set for the hardware A/D update, race-free against
+     * concurrent walks of group-shared tables. The final value is the
+     * same under every interleaving (bits are only ORed in), which keeps
+     * parallel bound phases deterministic.
+     */
+    void
+    fetchOr(std::uint64_t mask)
+    {
+        std::atomic_ref<std::uint64_t> ref(raw);
+        ref.fetch_or(mask, std::memory_order_relaxed);
+    }
 
     /**
      * Permission signature used when deciding whether two translations are

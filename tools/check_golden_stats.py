@@ -12,6 +12,10 @@ Ignored fields, by design:
   - schema_version      (additive schema growth is fine)
   - config.jobs         (thread count of the bench runner; stats are
                          identical across BF_JOBS by construction)
+  - config.workers      (bound-phase threads inside each System; stats
+                         are identical across BF_WORKERS by
+                         construction — that is the determinism this
+                         check enforces)
   - host, notes         (host wall-clock / sim-MIPS and bookkeeping)
   - series              (present for completeness; compared when both
                          sides have it)
@@ -21,8 +25,10 @@ Usage:
   check_golden_stats.py --json PRODUCED.json --golden GOLDEN.json
 
 With --bench the bench is run under the pinned environment
-(BF_FAST=1 BF_SAMPLE_MS=0 BF_JOBS=1) into a temp directory. --update
-rewrites the golden file from the produced output instead of diffing.
+(BF_FAST=1 BF_SAMPLE_MS=0 BF_JOBS=1 BF_WORKERS=1 BF_SYNC_CHUNK=20000)
+into a temp directory. --update rewrites the golden file from the
+produced output instead of diffing. On drift the first mismatching
+stat paths are printed as a unified golden(-) -> produced(+) diff.
 """
 
 import argparse
@@ -34,14 +40,19 @@ import tempfile
 
 # Top-level keys that describe the host, not the modeled machine.
 IGNORED_TOP_LEVEL = ("schema_version", "host", "notes")
-IGNORED_CONFIG_KEYS = ("jobs",)
+IGNORED_CONFIG_KEYS = ("jobs", "workers")
 
 PINNED_ENV = {
     "BF_FAST": "1",
     "BF_SAMPLE_MS": "0",
     "BF_JOBS": "1",
+    "BF_WORKERS": "1",
+    "BF_SYNC_CHUNK": "20000",
     "BF_JSON": "1",
 }
+
+# How many mismatching stat paths to show in the diff.
+DIFF_LIMIT = 20
 
 
 def strip_ignored(doc):
@@ -55,31 +66,36 @@ def strip_ignored(doc):
     return doc
 
 
-def diff(path, golden, produced, out, limit=50):
-    """Recursively collect differing paths between two JSON values."""
+def diff(path, golden, produced, out, limit=DIFF_LIMIT):
+    """Collect (path, old, new) triples of differing leaves.
+
+    old/new are None when the path exists on only one side (shown as a
+    one-sided diff line).
+    """
     if len(out) >= limit:
         return
     if type(golden) is not type(produced):
-        out.append(f"{path}: type {type(golden).__name__} != "
-                   f"{type(produced).__name__}")
+        out.append((path, f"<{type(golden).__name__}> {golden!r}",
+                    f"<{type(produced).__name__}> {produced!r}"))
         return
     if isinstance(golden, dict):
         for key in sorted(set(golden) | set(produced)):
             if key not in golden:
-                out.append(f"{path}.{key}: only in produced")
+                out.append((f"{path}.{key}", None, produced[key]))
             elif key not in produced:
-                out.append(f"{path}.{key}: only in golden")
+                out.append((f"{path}.{key}", golden[key], None))
             else:
                 diff(f"{path}.{key}", golden[key], produced[key], out,
                      limit)
     elif isinstance(golden, list):
         if len(golden) != len(produced):
-            out.append(f"{path}: length {len(golden)} != {len(produced)}")
+            out.append((path, f"length {len(golden)}",
+                        f"length {len(produced)}"))
             return
         for i, (g, p) in enumerate(zip(golden, produced)):
             diff(f"{path}[{i}]", g, p, out, limit)
     elif golden != produced:
-        out.append(f"{path}: {golden!r} != {produced!r}")
+        out.append((path, golden, produced))
 
 
 def run_bench(bench, out_dir):
@@ -127,9 +143,15 @@ def main():
     problems = []
     diff("$", strip_ignored(golden), strip_ignored(produced), problems)
     if problems:
-        print(f"STAT DRIFT: {len(problems)}+ differences vs {args.golden}")
-        for p in problems:
-            print(f"  {p}")
+        suffix = "+" if len(problems) >= DIFF_LIMIT else ""
+        print(f"STAT DRIFT: {len(problems)}{suffix} differing stat "
+              f"paths vs {args.golden} "
+              f"(- golden, + produced; first {DIFF_LIMIT} shown)")
+        for path, old, new in problems:
+            if old is not None:
+                print(f"  - {path}: {old!r}")
+            if new is not None:
+                print(f"  + {path}: {new!r}")
         sys.exit(1)
     print(f"golden stats match ({args.golden})")
 
