@@ -66,9 +66,10 @@ scanApp(const workloads::AppProfile &profile, const RunConfig &cfg)
     sys.addThread(0, threads[0].get());
     sys.addThread(1, threads[1].get());
 
-    // Reach steady state, then age the LRU (clear accessed bits) and
-    // run one more window so 'active' reflects recent touches.
-    sys.run(msToCycles(cfg.warm_ms));
+    // Reach steady state (or restore the warm-up checkpoint), then age
+    // the LRU (clear accessed bits) and run one more window so 'active'
+    // reflects recent touches.
+    warmOrRestore(sys, cfg, profile.name, params);
     sys.kernel().clearAccessedBits();
     sys.run(msToCycles(cfg.measure_ms));
 

@@ -22,6 +22,13 @@
  *                  simulated time; 0 disables sampling).
  *   BF_JSON=0      skip the BENCH_<name>.json report.
  *   BF_JSON_DIR    directory for the JSON report (default ".").
+ *   BF_CKPT=dir    save a checkpoint of each co-located app run right
+ *                  after warm-up into dir (one file per profile+config).
+ *   BF_RESTORE=dir restore the matching warm-up checkpoint instead of
+ *                  re-simulating warm-up; a missing/corrupt/mismatched
+ *                  file falls back to a cold start with a warning.
+ *   BF_CKPT_EVERY_MS  additionally re-save every N simulated ms during
+ *                  the run (crash recovery for long runs).
  */
 
 #ifndef BF_BENCH_COMMON_HH
@@ -30,6 +37,8 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <filesystem>
 #include <functional>
 #include <memory>
 #include <string>
@@ -59,6 +68,9 @@ struct RunConfig
     unsigned system_workers = 1; //!< Bound-phase threads per System.
     Cycles sync_chunk = 20000;   //!< Lockstep chunk length in cycles.
     std::uint64_t seed = 42;
+    std::string ckpt_dir;      //!< BF_CKPT: save post-warm-up state here.
+    std::string restore_dir;   //!< BF_RESTORE: load warm-up state from here.
+    double ckpt_every_ms = 0;  //!< BF_CKPT_EVERY_MS: periodic autosave.
 
     static RunConfig
     fromEnv()
@@ -91,7 +103,61 @@ struct RunConfig
             }
             cfg.sync_chunk = static_cast<Cycles>(value);
         }
+        if (const char *dir = std::getenv("BF_CKPT"))
+            cfg.ckpt_dir = dir;
+        if (const char *dir = std::getenv("BF_RESTORE"))
+            cfg.restore_dir = dir;
+        if (const char *ms = std::getenv("BF_CKPT_EVERY_MS"))
+            cfg.ckpt_every_ms = std::atof(ms);
         return cfg;
+    }
+
+    /**
+     * Name of the checkpoint file a run saves/loads:
+     * "<profile>-<16 hex>.ckpt", hashing every knob that shapes the
+     * warmed state. measure_ms, jobs and BF_WORKERS are deliberately
+     * excluded: the measurement window happens after the checkpoint,
+     * and the worker count cannot change simulated state (the bound/
+     * weave determinism guarantee) — so one warm-up checkpoint serves
+     * every measurement length and host parallelism level.
+     */
+    std::string
+    checkpointTag(const std::string &name,
+                  const core::SystemParams &params) const
+    {
+        std::uint64_t hash = 1469598103934665603ull; // FNV-1a offset
+        const auto mix = [&hash](std::uint64_t value) {
+            hash ^= value;
+            hash *= 1099511628211ull;
+        };
+        const auto mixDouble = [&mix](double value) {
+            std::uint64_t bits;
+            std::memcpy(&bits, &value, sizeof bits);
+            mix(bits);
+        };
+        mix(params.kernel.babelfish);
+        mix(static_cast<std::uint64_t>(params.kernel.max_share_level));
+        mix(params.kernel.thp);
+        mix(params.kernel.max_cow_writers);
+        mix(static_cast<std::uint64_t>(params.kernel.aslr));
+        mix(params.kernel.mem_frames);
+        mix(params.mmu.babelfish);
+        mix(params.mmu.force_long_l2);
+        mix(params.mmu.aslr_transform_cycles);
+        mixDouble(params.core.base_cpi);
+        mix(params.core.quantum);
+        mix(params.core.context_switch_cycles);
+        mix(params.num_cores);
+        mix(params.sync_chunk);
+        mix(params.seed);
+        mix(containers_per_core);
+        mixDouble(warm_ms);
+        mixDouble(sample_ms);
+        mix(seed);
+        char hex[17];
+        std::snprintf(hex, sizeof hex, "%016llx",
+                      static_cast<unsigned long long>(hash));
+        return name + "-" + hex + ".ckpt";
     }
 
     /** Stamp the System-execution knobs into a parameter set. */
@@ -154,6 +220,39 @@ captureArtifacts(const core::System &sys)
     return artifacts;
 }
 
+/**
+ * Warm a freshly-built System, or restore its warm-up checkpoint.
+ *
+ * The caller has just rebuilt the world deterministically from the same
+ * config, so a matching checkpoint (named by checkpointTag, which
+ * hashes every state-shaping knob) drops the system into the identical
+ * post-warm-up state — stats included — without re-simulating it. A
+ * missing or rejected checkpoint falls back to simulating the warm-up,
+ * and BF_CKPT / BF_CKPT_EVERY_MS save checkpoints for later runs.
+ */
+inline void
+warmOrRestore(core::System &sys, const RunConfig &cfg,
+              const std::string &name, const core::SystemParams &params)
+{
+    const std::string tag = cfg.checkpointTag(name, params);
+    bool restored = false;
+    if (!cfg.restore_dir.empty())
+        restored = sys.restoreCheckpoint(cfg.restore_dir + "/" + tag);
+    if (!restored)
+        sys.run(msToCycles(cfg.warm_ms));
+    if (!cfg.ckpt_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(cfg.ckpt_dir, ec);
+        sys.saveCheckpoint(cfg.ckpt_dir + "/" + tag);
+    }
+    if (cfg.ckpt_every_ms > 0) {
+        const std::string dir =
+            cfg.ckpt_dir.empty() ? std::string(".") : cfg.ckpt_dir;
+        sys.enableAutoCheckpoint(dir + "/autosave-" + tag,
+                                 msToCycles(cfg.ckpt_every_ms));
+    }
+}
+
 /** Metrics extracted from one Data Serving / Compute run. */
 struct AppRunResult
 {
@@ -193,7 +292,7 @@ runApp(const workloads::AppProfile &profile,
     for (unsigned i = 0; i < n; ++i)
         sys.addThread(i % cfg.num_cores, threads[i].get());
 
-    sys.run(msToCycles(cfg.warm_ms));
+    warmOrRestore(sys, cfg, profile.name, params);
     sys.resetStats();
     for (auto &thread : threads) {
         if (auto *ds =

@@ -83,6 +83,22 @@ class Rng
         return uniform() < p;
     }
 
+    /** @{ @name Checkpointing: copy the 256-bit state in/out. */
+    void
+    getState(std::uint64_t out[4]) const
+    {
+        for (int i = 0; i < 4; ++i)
+            out[i] = state_[i];
+    }
+
+    void
+    setState(const std::uint64_t in[4])
+    {
+        for (int i = 0; i < 4; ++i)
+            state_[i] = in[i];
+    }
+    /** @} */
+
   private:
     static std::uint64_t
     rotl(std::uint64_t x, int k)

@@ -4,6 +4,7 @@
 #include <iomanip>
 
 #include "common/logging.hh"
+#include "common/snapshot.hh"
 
 namespace bf::stats
 {
@@ -138,6 +139,100 @@ StatGroup::accept(StatVisitor &visitor) const
     for (const auto *child : children_)
         child->accept(visitor);
     visitor.endGroup(*this);
+}
+
+void
+StatGroup::saveStats(snap::ArchiveWriter &ar) const
+{
+    ar.str(name_);
+    ar.u32(static_cast<std::uint32_t>(scalars_.size()));
+    for (const auto &[name, stat] : scalars_) {
+        ar.str(name);
+        ar.u64(stat->value());
+    }
+    ar.u32(static_cast<std::uint32_t>(averages_.size()));
+    for (const auto &[name, stat] : averages_) {
+        ar.str(name);
+        ar.f64(stat->sum());
+        ar.u64(stat->count());
+    }
+    ar.u32(static_cast<std::uint32_t>(latencies_.size()));
+    for (const auto &[name, stat] : latencies_) {
+        ar.str(name);
+        const auto &samples = stat->rawSamples();
+        ar.u64(samples.size());
+        for (double s : samples)
+            ar.f64(s);
+    }
+    ar.u32(static_cast<std::uint32_t>(children_.size()));
+    for (const auto *child : children_)
+        child->saveStats(ar);
+}
+
+namespace
+{
+
+// Restore walks the same canonical order save used; any divergence in
+// group or stat name means the rebuilt world's stat tree does not match
+// the checkpointed one, which restore must refuse to paper over.
+void
+verifyName(const char *what, const StatGroup &group,
+           const std::string &expected, const std::string &found)
+{
+    if (expected != found) {
+        throw snap::SnapshotError(
+            std::string("checkpoint stat tree mismatch at ") +
+            group.path() + ": expected " + what + " '" + expected +
+            "', found '" + found + "'");
+    }
+}
+
+void
+verifyCount(const char *what, const StatGroup &group, std::size_t expected,
+            std::size_t found)
+{
+    if (expected != found) {
+        throw snap::SnapshotError(
+            std::string("checkpoint stat tree mismatch at ") +
+            group.path() + ": " + what + " count " +
+            std::to_string(expected) + " != " + std::to_string(found));
+    }
+}
+
+} // namespace
+
+void
+StatGroup::restoreStats(snap::ArchiveReader &ar)
+{
+    verifyName("group", *this, ar.str(), name_);
+
+    // The registered pointers are const because normal clients only
+    // read; the stats live in the owning components, and restore is the
+    // one sanctioned writer through this registry.
+    verifyCount("scalar", *this, ar.u32(), scalars_.size());
+    for (const auto &[name, stat] : scalars_) {
+        verifyName("scalar", *this, ar.str(), name);
+        const_cast<Scalar *>(stat)->restoreValue(ar.u64());
+    }
+    verifyCount("average", *this, ar.u32(), averages_.size());
+    for (const auto &[name, stat] : averages_) {
+        verifyName("average", *this, ar.str(), name);
+        const double sum = ar.f64();
+        const std::uint64_t count = ar.u64();
+        const_cast<Average *>(stat)->restoreState(sum, count);
+    }
+    verifyCount("latency", *this, ar.u32(), latencies_.size());
+    for (const auto &[name, stat] : latencies_) {
+        verifyName("latency", *this, ar.str(), name);
+        std::vector<double> samples(ar.u64());
+        for (double &s : samples)
+            s = ar.f64();
+        const_cast<LatencyTracker *>(stat)->restoreSamples(
+            std::move(samples));
+    }
+    verifyCount("child group", *this, ar.u32(), children_.size());
+    for (auto *child : children_)
+        child->restoreStats(ar);
 }
 
 const Scalar *

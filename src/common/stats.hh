@@ -20,6 +20,16 @@
 namespace bf::stats
 {
 
+// Checkpointing (common/snapshot.hh); stats.cc pulls in the full type.
+} // namespace bf::stats
+namespace bf::snap
+{
+class ArchiveWriter;
+class ArchiveReader;
+} // namespace bf::snap
+namespace bf::stats
+{
+
 /** A monotonically increasing counter. */
 class Scalar
 {
@@ -37,6 +47,9 @@ class Scalar
 
     /** Reset to zero (used between warm-up and measurement). */
     void reset() { value_ = 0; }
+
+    /** Overwrite the count (checkpoint restore only). */
+    void restoreValue(std::uint64_t v) { value_ = v; }
 
   private:
     std::uint64_t value_ = 0;
@@ -64,6 +77,13 @@ class Average
     double sum() const { return sum_; }
 
     void reset() { sum_ = 0; count_ = 0; }
+
+    /** Overwrite sum and count (checkpoint restore only). */
+    void restoreState(double sum, std::uint64_t count)
+    {
+        sum_ = sum;
+        count_ = count;
+    }
 
   private:
     double sum_ = 0;
@@ -124,6 +144,20 @@ class LatencyTracker
     double percentile(double p) const;
 
     void reset() { samples_.clear(); sorted_ = false; }
+
+    /**
+     * @{ @name Checkpointing
+     * Samples are saved and restored in insertion order; neither run
+     * sorts mid-run, so the restored run's summation order (and thus
+     * its exported mean) matches the uninterrupted run bit-for-bit.
+     */
+    const std::vector<double> &rawSamples() const { return samples_; }
+    void restoreSamples(std::vector<double> samples)
+    {
+        samples_ = std::move(samples);
+        sorted_ = false;
+    }
+    /** @} */
 
   private:
     mutable std::vector<double> samples_;
@@ -200,6 +234,19 @@ class StatGroup
 
     /** Depth-first walk of this group and its children (see StatVisitor). */
     void accept(StatVisitor &visitor) const;
+
+    /**
+     * @{ @name Checkpointing
+     * Serialize every stat in the tree in the canonical accept() order
+     * (scalars, averages, latency trackers in name order; children in
+     * registration order). Restore walks the same order against the
+     * rebuilt tree and verifies each group and stat name, so a topology
+     * mismatch surfaces as a SnapshotError naming the first divergence
+     * rather than as silently scrambled counters.
+     */
+    void saveStats(snap::ArchiveWriter &ar) const;
+    void restoreStats(snap::ArchiveReader &ar);
+    /** @} */
 
     /**
      * Look up a scalar's value by path relative to this group, e.g.\

@@ -1,6 +1,7 @@
 #include "core/core.hh"
 
 #include "common/logging.hh"
+#include "common/snapshot.hh"
 
 namespace bf::core
 {
@@ -227,6 +228,53 @@ Core::resetStats()
     data_cycles.reset();
     context_switches.reset();
     mmu_->resetStats();
+}
+
+void
+Core::save(snap::ArchiveWriter &ar) const
+{
+    bf_assert(!blocked_,
+              "checkpoint mid-fault: core ", id_, " is suspended");
+    ar.u64(now_);
+    ar.u64(quantum_left_);
+    ar.f64(cpi_accum_);
+    ar.u64(current_);
+    ar.u32(static_cast<std::uint32_t>(threads_.size()));
+    for (const char done : thread_done_)
+        ar.b(done != 0);
+    ar.u64(done_count_);
+    ar.b(has_pending_);
+    ar.u64(pending_ref_.va);
+    ar.u8(static_cast<std::uint8_t>(pending_ref_.type));
+    ar.u32(pending_ref_.instrs);
+    ar.b(pending_ref_.request_end);
+    ar.b(pending_ref_.yield_after);
+    ar.u32(pending_retries_);
+    mmu_->save(ar);
+}
+
+void
+Core::restore(snap::ArchiveReader &ar)
+{
+    now_ = ar.u64();
+    quantum_left_ = ar.u64();
+    cpi_accum_ = ar.f64();
+    current_ = ar.u64();
+    if (ar.u32() != threads_.size()) {
+        throw snap::SnapshotError("core checkpoint thread-count mismatch");
+    }
+    for (char &done : thread_done_)
+        done = ar.b() ? 1 : 0;
+    done_count_ = ar.u64();
+    has_pending_ = ar.b();
+    pending_ref_.va = ar.u64();
+    pending_ref_.type = static_cast<AccessType>(ar.u8());
+    pending_ref_.instrs = ar.u32();
+    pending_ref_.request_end = ar.b();
+    pending_ref_.yield_after = ar.b();
+    pending_retries_ = ar.u32();
+    blocked_ = false;
+    mmu_->restore(ar);
 }
 
 } // namespace bf::core

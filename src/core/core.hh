@@ -77,6 +77,24 @@ class Core
     Mmu &mmu() { return *mmu_; }
     unsigned id() const { return id_; }
 
+    /** Run queue, in scheduling order (checkpointing walks threads). */
+    const std::vector<Thread *> &threads() const { return threads_; }
+
+    /**
+     * @{
+     * @name Checkpointing
+     * Clock, scheduler position, quantum, CPI carry, done-cache, and the
+     * deferred-fault re-issue state, then the MMU (TLBs + PWC). Called
+     * at a chunk barrier only, where blocked_ is always false (System's
+     * fault loop drains every suspension before the chunk ends) but a
+     * stalled reference may still await re-issue — has_pending_ and
+     * pending_ref_ travel with the checkpoint so the restored run
+     * re-issues it exactly like the uninterrupted one.
+     */
+    void save(snap::ArchiveWriter &ar) const;
+    void restore(snap::ArchiveReader &ar);
+    /** @} */
+
     /** @{ @name Statistics */
     stats::Scalar instructions;
     stats::Scalar mem_refs;

@@ -1,6 +1,7 @@
 #include "core/mmu.hh"
 
 #include "common/logging.hh"
+#include "common/snapshot.hh"
 
 namespace bf::core
 {
@@ -415,6 +416,31 @@ Mmu::resetStats()
         tlb->resetStats();
     pwc_->resetStats();
     walker_->resetStats();
+}
+
+void
+Mmu::save(snap::ArchiveWriter &ar) const
+{
+    l1i_4k_->save(ar);
+    for (const auto &tlb : l1d_)
+        tlb->save(ar);
+    for (const auto &tlb : l2_)
+        tlb->save(ar);
+    pwc_->save(ar);
+}
+
+void
+Mmu::restore(snap::ArchiveReader &ar)
+{
+    l1i_4k_->restore(ar);
+    for (auto &tlb : l1d_)
+        tlb->restore(ar);
+    for (auto &tlb : l2_)
+        tlb->restore(ar);
+    pwc_->restore(ar);
+    // Drop the processBit memo: it re-warms on first use and has no
+    // stat side effects, so resuming cold here is invisible to stats.
+    pb_cache_ = PbCache{};
 }
 
 } // namespace bf::core

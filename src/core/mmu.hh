@@ -111,6 +111,18 @@ class Mmu
 
     const MmuParams &params() const { return params_; }
 
+    /**
+     * @{
+     * @name Checkpointing
+     * All TLB structures and the PWC. The walker holds no mutable
+     * non-stat state, and pb_cache_ is reset on restore: it is a pure
+     * lookup memo with no stat side effects, so re-warming it cannot
+     * perturb the resumed run.
+     */
+    void save(snap::ArchiveWriter &ar) const;
+    void restore(snap::ArchiveReader &ar);
+    /** @} */
+
   private:
     unsigned core_id_;
     MmuParams params_;

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "common/snapshot.hh"
 #include "common/types.hh"
 
 namespace bf::core
@@ -101,6 +102,57 @@ class StatSampler
         next_ = interval_;
         phase_ = 0;
     }
+
+    /**
+     * @{
+     * @name Checkpointing
+     * The recorded points, the grid position (next_), the phase and the
+     * interval — everything the timeseries JSON derives from — so the
+     * restored run's series is byte-identical to the uninterrupted one.
+     * Probes are closures and are NOT serialized; the rebuilt world
+     * re-registers them (System::enableSampling) and restore() verifies
+     * the names line up.
+     */
+    void
+    save(snap::ArchiveWriter &ar) const
+    {
+        ar.u64(interval_);
+        ar.u64(next_);
+        ar.u32(phase_);
+        ar.u32(static_cast<std::uint32_t>(names_.size()));
+        for (const std::string &name : names_)
+            ar.str(name);
+        ar.u64(points_.size());
+        for (const Point &point : points_) {
+            ar.u64(point.cycle);
+            ar.u32(point.phase);
+            for (const std::uint64_t value : point.values)
+                ar.u64(value);
+        }
+    }
+
+    void
+    restore(snap::ArchiveReader &ar)
+    {
+        interval_ = ar.u64();
+        next_ = ar.u64();
+        phase_ = ar.u32();
+        if (ar.u32() != names_.size())
+            throw snap::SnapshotError("sampler probe-count mismatch");
+        for (const std::string &name : names_) {
+            if (ar.str() != name)
+                throw snap::SnapshotError("sampler probe-name mismatch");
+        }
+        points_.assign(ar.u64(), Point{});
+        for (Point &point : points_) {
+            point.cycle = ar.u64();
+            point.phase = ar.u32();
+            point.values.resize(names_.size());
+            for (std::uint64_t &value : point.values)
+                value = ar.u64();
+        }
+    }
+    /** @} */
 
     /**
      * Serialize as JSON:

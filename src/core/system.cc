@@ -1,8 +1,10 @@
 #include "core/system.hh"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/logging.hh"
+#include "common/snapshot.hh"
 
 namespace bf::core
 {
@@ -240,6 +242,7 @@ System::run(Cycles duration)
         barrier = std::min(barrier + params_.sync_chunk, end);
         runChunk(barrier);
         sampler_.observe(barrier);
+        maybeAutosave(barrier);
     }
 }
 
@@ -265,9 +268,213 @@ System::runUntilFinished(Cycles max_cycles)
         barrier = std::min(barrier + params_.sync_chunk, end);
         runChunk(barrier);
         sampler_.observe(barrier);
+        maybeAutosave(barrier);
     }
     ++run_capped;
     warn("runUntilFinished hit the cycle cap");
+}
+
+bool
+System::saveCheckpoint(const std::string &path) const
+{
+    snap::ArchiveWriter ar;
+
+    // MANI: enough of the configuration and topology to recognize —
+    // before any state is mutated — that this archive belongs to a
+    // differently built world. Everything here is validated field by
+    // field in restoreCheckpoint().
+    ar.beginSection("MANI");
+    ar.u32(params_.num_cores);
+    ar.u64(params_.sync_chunk);
+    ar.u64(params_.seed);
+    const vm::KernelParams &kp = params_.kernel;
+    ar.b(kp.babelfish);
+    ar.u32(static_cast<std::uint32_t>(kp.max_share_level));
+    ar.b(kp.thp);
+    ar.u32(kp.max_cow_writers);
+    ar.u8(static_cast<std::uint8_t>(kp.aslr));
+    ar.u64(kp.mem_frames);
+    const MmuParams &mp = params_.mmu;
+    ar.b(mp.babelfish);
+    ar.u8(static_cast<std::uint8_t>(mp.aslr));
+    ar.u64(mp.aslr_transform_cycles);
+    ar.b(mp.force_long_l2);
+    const CoreParams &cp = params_.core;
+    ar.f64(cp.base_cpi);
+    ar.u64(cp.quantum);
+    ar.u64(cp.context_switch_cycles);
+    for (const auto &core : cores_)
+        ar.u32(static_cast<std::uint32_t>(core->threads().size()));
+    const auto procs = kernel_->processes();
+    ar.u32(static_cast<std::uint32_t>(procs.size()));
+    for (const vm::Process *proc : procs)
+        ar.u32(proc->pid());
+    ar.u64(kernel_->objectCount());
+    const auto ccids = kernel_->groupCcids();
+    ar.u32(static_cast<std::uint32_t>(ccids.size()));
+    for (const Ccid ccid : ccids)
+        ar.u16(ccid);
+    ar.endSection();
+
+    ar.beginSection("KERN");
+    kernel_->save(ar);
+    ar.endSection();
+
+    ar.beginSection("MEMH");
+    hierarchy_->save(ar);
+    ar.endSection();
+
+    for (const auto &core : cores_) {
+        ar.beginSection("CORE");
+        core->save(ar);
+        ar.endSection();
+    }
+
+    ar.beginSection("THRD");
+    for (const auto &core : cores_) {
+        for (const Thread *thread : core->threads())
+            thread->saveState(ar);
+    }
+    ar.endSection();
+
+    ar.beginSection("SAMP");
+    sampler_.save(ar);
+    ar.endSection();
+
+    ar.beginSection("STAT");
+    stat_group_.saveStats(ar);
+    ar.endSection();
+
+    return ar.writeFile(path);
+}
+
+bool
+System::restoreCheckpoint(const std::string &path)
+{
+    std::optional<snap::ArchiveReader> reader;
+    try {
+        reader.emplace(snap::ArchiveReader::fromFile(path));
+    } catch (const snap::SnapshotError &err) {
+        warn("checkpoint rejected (", path, "): ", err.what(),
+             " — cold start");
+        return false;
+    }
+    snap::ArchiveReader &ar = *reader;
+
+    // Until `mutating` flips, any mismatch leaves the system untouched
+    // and the caller falls back to a cold start. After it flips, partial
+    // state has been overwritten, so a decode error is fatal.
+    bool mutating = false;
+    try {
+        const auto ck = [](bool ok, const char *what) {
+            if (!ok) {
+                throw snap::SnapshotError(
+                    std::string("manifest mismatch: ") + what);
+            }
+        };
+        ar.enterSection("MANI");
+        ck(ar.u32() == params_.num_cores, "num_cores");
+        ck(ar.u64() == params_.sync_chunk, "sync_chunk");
+        ck(ar.u64() == params_.seed, "seed");
+        const vm::KernelParams &kp = params_.kernel;
+        ck(ar.b() == kp.babelfish, "kernel.babelfish");
+        ck(ar.u32() == static_cast<std::uint32_t>(kp.max_share_level),
+           "kernel.max_share_level");
+        ck(ar.b() == kp.thp, "kernel.thp");
+        ck(ar.u32() == kp.max_cow_writers, "kernel.max_cow_writers");
+        ck(ar.u8() == static_cast<std::uint8_t>(kp.aslr), "kernel.aslr");
+        ck(ar.u64() == kp.mem_frames, "kernel.mem_frames");
+        const MmuParams &mp = params_.mmu;
+        ck(ar.b() == mp.babelfish, "mmu.babelfish");
+        ck(ar.u8() == static_cast<std::uint8_t>(mp.aslr), "mmu.aslr");
+        ck(ar.u64() == mp.aslr_transform_cycles,
+           "mmu.aslr_transform_cycles");
+        ck(ar.b() == mp.force_long_l2, "mmu.force_long_l2");
+        const CoreParams &cp = params_.core;
+        ck(ar.f64() == cp.base_cpi, "core.base_cpi");
+        ck(ar.u64() == cp.quantum, "core.quantum");
+        ck(ar.u64() == cp.context_switch_cycles,
+           "core.context_switch_cycles");
+        for (const auto &core : cores_) {
+            ck(ar.u32() == core->threads().size(),
+               "per-core thread count");
+        }
+        const auto procs = kernel_->processes();
+        ck(ar.u32() == procs.size(), "process count");
+        for (const vm::Process *proc : procs)
+            ck(ar.u32() == proc->pid(), "process pids");
+        ck(ar.u64() == kernel_->objectCount(), "object count");
+        const auto ccids = kernel_->groupCcids();
+        ck(ar.u32() == ccids.size(), "group count");
+        for (const Ccid ccid : ccids)
+            ck(ar.u16() == ccid, "group ccids");
+        ar.exitSection();
+
+        mutating = true;
+
+        ar.enterSection("KERN");
+        kernel_->restore(ar);
+        ar.exitSection();
+
+        ar.enterSection("MEMH");
+        hierarchy_->restore(ar);
+        ar.exitSection();
+
+        for (auto &core : cores_) {
+            ar.enterSection("CORE");
+            core->restore(ar);
+            ar.exitSection();
+        }
+
+        ar.enterSection("THRD");
+        for (auto &core : cores_) {
+            for (Thread *thread : core->threads())
+                thread->restoreState(ar);
+        }
+        ar.exitSection();
+
+        ar.enterSection("SAMP");
+        sampler_.restore(ar);
+        ar.exitSection();
+
+        ar.enterSection("STAT");
+        stat_group_.restoreStats(ar);
+        ar.exitSection();
+
+        if (!ar.atEnd())
+            throw snap::SnapshotError("trailing bytes after last section");
+    } catch (const snap::SnapshotError &err) {
+        if (!mutating) {
+            warn("checkpoint rejected (", path, "): ", err.what(),
+                 " — cold start");
+            return false;
+        }
+        bf_fatal("checkpoint ", path,
+                 " corrupt mid-restore (state already overwritten): ",
+                 err.what());
+    }
+    return true;
+}
+
+void
+System::enableAutoCheckpoint(std::string path, Cycles interval)
+{
+    autosave_path_ = std::move(path);
+    autosave_interval_ = interval;
+    Cycles start = 0;
+    for (const auto &core : cores_)
+        start = std::max(start, core->now());
+    autosave_next_ = start + interval;
+}
+
+void
+System::maybeAutosave(Cycles barrier)
+{
+    if (autosave_interval_ == 0 || barrier < autosave_next_)
+        return;
+    saveCheckpoint(autosave_path_);
+    while (autosave_next_ <= barrier)
+        autosave_next_ += autosave_interval_;
 }
 
 void

@@ -20,6 +20,7 @@
 #define BF_CORE_SYSTEM_HH
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/stats.hh"
@@ -94,6 +95,34 @@ class System
     StatSampler &sampler() { return sampler_; }
     const StatSampler &sampler() const { return sampler_; }
 
+    /**
+     * @{
+     * @name Checkpointing (DESIGN.md §11)
+     * saveCheckpoint() serializes the whole machine — kernel, cache
+     * hierarchy, cores with TLBs, thread generators, sampler, stats
+     * tree — into a versioned archive at @p path (atomic write; false +
+     * warning on IO failure). Call only at a chunk boundary, i.e. when
+     * run()/runUntilFinished() is not executing.
+     *
+     * restoreCheckpoint() loads one into an identically configured and
+     * populated System (same params, same groups/processes/threads in
+     * the same order — benches rebuild this deterministically from the
+     * same config). Returns false and leaves the system untouched for
+     * any rejected file: bad magic/version/CRC, truncation, or a
+     * manifest that does not match this system's configuration — the
+     * caller then falls back to a cold start. A corruption discovered
+     * after mutation began (valid CRC but internally inconsistent) is
+     * fatal with a diagnostic, never a silently wrong run.
+     *
+     * enableAutoCheckpoint() re-saves to @p path every @p interval
+     * cycles from the driver loop (BF_CKPT_EVERY_MS), making long runs
+     * crash-recoverable.
+     */
+    bool saveCheckpoint(const std::string &path) const;
+    bool restoreCheckpoint(const std::string &path);
+    void enableAutoCheckpoint(std::string path, Cycles interval);
+    /** @} */
+
     /** Aggregate counters across cores. */
     std::uint64_t totalInstructions() const;
     std::uint64_t totalL2TlbMisses(bool instruction) const;
@@ -138,6 +167,13 @@ class System
     std::vector<PendingFault> pending_faults_; //!< Reused across chunks.
     std::vector<Cycles> data_extra_;           //!< Weave per-core bill.
     std::vector<Cycles> walk_extra_;           //!< Weave per-core bill.
+
+    /** @{ @name Periodic autosave (enableAutoCheckpoint) */
+    std::string autosave_path_;
+    Cycles autosave_interval_ = 0;
+    Cycles autosave_next_ = 0;
+    void maybeAutosave(Cycles barrier);
+    /** @} */
 
     /** Advance every core to @p barrier: bound, fault service, weave. */
     void runChunk(Cycles barrier);

@@ -20,6 +20,12 @@ namespace bf::vm
 class Process;
 } // namespace bf::vm
 
+namespace bf::snap
+{
+class ArchiveWriter;
+class ArchiveReader;
+} // namespace bf::snap
+
 namespace bf::core
 {
 
@@ -71,6 +77,18 @@ class Thread
 
     /** Debug name. */
     virtual const std::string &name() const = 0;
+
+    /**
+     * @{
+     * @name Checkpointing
+     * Serialize / overwrite the generator's progress (RNG state,
+     * cursors, phase). The default is stateless; every workload thread
+     * with mutable state overrides both, and restoreState may throw
+     * snap::SnapshotError on divergence from the rebuilt thread.
+     */
+    virtual void saveState(snap::ArchiveWriter &ar) const { (void)ar; }
+    virtual void restoreState(snap::ArchiveReader &ar) { (void)ar; }
+    /** @} */
 };
 
 } // namespace bf::core

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "common/snapshot.hh"
 
 namespace bf::mem
 {
@@ -171,6 +172,39 @@ Cache::resetStats()
     evictions.reset();
     writebacks.reset();
     invalidations.reset();
+}
+
+void
+Cache::save(snap::ArchiveWriter &ar) const
+{
+    ar.str(params_.name);
+    ar.u64(params_.size_bytes);
+    ar.u32(params_.assoc);
+    ar.u32(params_.line_bytes);
+    ar.u64(lru_clock_);
+    for (const Line &line : lines_) {
+        ar.u64(line.tag);
+        ar.b(line.valid);
+        ar.b(line.dirty);
+        ar.u64(line.lru);
+    }
+}
+
+void
+Cache::restore(snap::ArchiveReader &ar)
+{
+    if (ar.str() != params_.name || ar.u64() != params_.size_bytes ||
+        ar.u32() != params_.assoc || ar.u32() != params_.line_bytes) {
+        throw snap::SnapshotError("cache '" + params_.name +
+                                  "' checkpoint geometry mismatch");
+    }
+    lru_clock_ = ar.u64();
+    for (Line &line : lines_) {
+        line.tag = ar.u64();
+        line.valid = ar.b();
+        line.dirty = ar.b();
+        line.lru = ar.u64();
+    }
 }
 
 } // namespace bf::mem

@@ -97,6 +97,11 @@ class Cache
 
     const CacheParams &params() const { return params_; }
 
+    /** @{ @name Checkpointing (geometry-verified tag/LRU/dirty dump) */
+    void save(snap::ArchiveWriter &ar) const;
+    void restore(snap::ArchiveReader &ar);
+    /** @} */
+
     /** @{ @name Statistics */
     stats::Scalar hits;
     stats::Scalar misses;

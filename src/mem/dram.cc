@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/snapshot.hh"
 
 namespace bf::mem
 {
@@ -89,6 +90,29 @@ Dram::resetStats()
     row_hits.reset();
     row_misses.reset();
     row_conflicts.reset();
+}
+
+void
+Dram::save(snap::ArchiveWriter &ar) const
+{
+    ar.u32(static_cast<std::uint32_t>(banks_.size()));
+    for (const Bank &bank : banks_) {
+        ar.u64(bank.open_row);
+        ar.b(bank.row_open);
+        ar.u64(bank.ready_at);
+    }
+}
+
+void
+Dram::restore(snap::ArchiveReader &ar)
+{
+    if (ar.u32() != banks_.size())
+        throw snap::SnapshotError("DRAM checkpoint bank-count mismatch");
+    for (Bank &bank : banks_) {
+        bank.open_row = ar.u64();
+        bank.row_open = ar.b();
+        bank.ready_at = ar.u64();
+    }
 }
 
 } // namespace bf::mem

@@ -71,6 +71,11 @@ class Dram
 
     const DramParams &params() const { return params_; }
 
+    /** @{ @name Checkpointing (open rows + bank ready times) */
+    void save(snap::ArchiveWriter &ar) const;
+    void restore(snap::ArchiveReader &ar);
+    /** @} */
+
   private:
     struct Bank
     {

@@ -1,6 +1,7 @@
 #include "mem/hierarchy.hh"
 
 #include "common/logging.hh"
+#include "common/snapshot.hh"
 
 namespace bf::mem
 {
@@ -162,6 +163,33 @@ CacheHierarchy::resetStats()
     }
     l3_->resetStats();
     dram_->resetStats();
+}
+
+void
+CacheHierarchy::save(snap::ArchiveWriter &ar) const
+{
+    ar.u32(num_cores_);
+    for (unsigned c = 0; c < num_cores_; ++c) {
+        l1i_[c]->save(ar);
+        l1d_[c]->save(ar);
+        l2_[c]->save(ar);
+    }
+    l3_->save(ar);
+    dram_->save(ar);
+}
+
+void
+CacheHierarchy::restore(snap::ArchiveReader &ar)
+{
+    if (ar.u32() != num_cores_)
+        throw snap::SnapshotError("hierarchy checkpoint core-count mismatch");
+    for (unsigned c = 0; c < num_cores_; ++c) {
+        l1i_[c]->restore(ar);
+        l1d_[c]->restore(ar);
+        l2_[c]->restore(ar);
+    }
+    l3_->restore(ar);
+    dram_->restore(ar);
 }
 
 } // namespace bf::mem

@@ -119,6 +119,17 @@ class CacheHierarchy
 
     unsigned numCores() const { return num_cores_; }
 
+    /**
+     * @{
+     * @name Checkpointing
+     * Delegates to every level (per-core L1 I/D and L2, then L3 and
+     * DRAM). Epoch logs are empty at chunk barriers and the coherence
+     * flag is configuration-derived, so neither is serialized.
+     */
+    void save(snap::ArchiveWriter &ar) const;
+    void restore(snap::ArchiveReader &ar);
+    /** @} */
+
     /** Direct access for tests. */
     Cache &l1d(unsigned core) { return *l1d_[core]; }
     Cache &l1i(unsigned core) { return *l1i_[core]; }

@@ -1,6 +1,7 @@
 #include "tlb/page_walk_cache.hh"
 
 #include "common/logging.hh"
+#include "common/snapshot.hh"
 #include "vm/paging.hh"
 
 namespace bf::tlb
@@ -92,6 +93,36 @@ Pwc::resetStats()
 {
     hits.reset();
     misses.reset();
+}
+
+void
+Pwc::save(snap::ArchiveWriter &ar) const
+{
+    ar.str(params_.name);
+    ar.u32(static_cast<std::uint32_t>(lines_.size()));
+    ar.u32(params_.assoc);
+    ar.u64(lru_clock_);
+    for (const Line &line : lines_) {
+        ar.u64(line.tag);
+        ar.b(line.valid);
+        ar.u64(line.lru);
+    }
+}
+
+void
+Pwc::restore(snap::ArchiveReader &ar)
+{
+    if (ar.str() != params_.name || ar.u32() != lines_.size() ||
+        ar.u32() != params_.assoc) {
+        throw snap::SnapshotError("PWC '" + params_.name +
+                                  "' checkpoint geometry mismatch");
+    }
+    lru_clock_ = ar.u64();
+    for (Line &line : lines_) {
+        line.tag = ar.u64();
+        line.valid = ar.b();
+        line.lru = ar.u64();
+    }
 }
 
 } // namespace bf::tlb

@@ -57,6 +57,11 @@ class Pwc
 
     Cycles accessCycles() const { return params_.access_cycles; }
 
+    /** @{ @name Checkpointing (geometry-verified full content dump) */
+    void save(snap::ArchiveWriter &ar) const;
+    void restore(snap::ArchiveReader &ar);
+    /** @} */
+
     /** @{ @name Statistics */
     stats::Scalar hits;
     stats::Scalar misses;

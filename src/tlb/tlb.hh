@@ -113,6 +113,18 @@ class Tlb
 
     const TlbParams &params() const { return params_; }
 
+    /**
+     * @{
+     * @name Checkpointing
+     * Full content dump: every way of every set with all tags, O-PC
+     * state and LRU stamps, plus the LRU clock. restore() verifies the
+     * geometry fingerprint first and throws snap::SnapshotError on
+     * mismatch. Stats ride the stats tree, not this path.
+     */
+    void save(snap::ArchiveWriter &ar) const;
+    void restore(snap::ArchiveReader &ar);
+    /** @} */
+
     /** @{ @name Statistics */
     stats::Scalar hits;
     stats::Scalar misses;

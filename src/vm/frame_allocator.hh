@@ -83,6 +83,17 @@ class FrameAllocator
 
     std::uint64_t totalFrames() const { return total_frames_; }
 
+    /** @{ @name Checkpointing (Kernel only; stats ride the stats tree) */
+    Ppn nextFrame() const { return next_; }
+    const std::vector<Ppn> &freeList() const { return free_list_; }
+    void
+    restoreState(Ppn next, std::vector<Ppn> free_list)
+    {
+        next_ = next;
+        free_list_ = std::move(free_list);
+    }
+    /** @} */
+
     /** @{ @name Statistics */
     stats::Scalar allocated;
     stats::Scalar freed;

@@ -266,6 +266,35 @@ class Kernel
 
     FrameAllocator &frames() { return allocator_; }
     const KernelParams &params() const { return params_; }
+
+    /** Number of mapped objects ever created (checkpoint manifest). */
+    std::size_t objectCount() const { return objects_.size(); }
+
+    /** All group CCIDs, ascending (checkpoint manifest). */
+    std::vector<Ccid>
+    groupCcids() const
+    {
+        std::vector<Ccid> ccids;
+        for (const auto &[ccid, group] : groups_)
+            ccids.push_back(ccid);
+        return ccids;
+    }
+    /** @} */
+
+    /**
+     * @{
+     * @name Checkpointing (DESIGN.md §11)
+     * Serialize / overwrite all mutable OS state: counters, the frame
+     * allocator, object residency, every page-table page (raw entries
+     * including O/ORPC/CoW bits), process VMAs + ASLR transforms, and the
+     * group sharing registries (shared tables, MaskPages, fallbacks).
+     * restore() expects a world rebuilt with the identical configuration;
+     * identity is matched by pid / object id / ccid / table frame, and
+     * any divergence throws snap::SnapshotError. Stats are restored by
+     * the owner of the stats tree, not here.
+     */
+    void save(snap::ArchiveWriter &ar) const;
+    void restore(snap::ArchiveReader &ar);
     /** @} */
 
     /** @{ @name Statistics */

@@ -115,6 +115,21 @@ class MaskPage
         return frame_ * basePageBytes + pmd_index * sizeof(std::uint32_t);
     }
 
+    /** @{ @name Checkpointing (Kernel only) */
+    const std::array<std::uint32_t, entriesPerTable> &bitmasks() const
+    {
+        return bitmasks_;
+    }
+    const std::vector<Pid> &pidList() const { return pid_list_; }
+    void
+    restoreState(const std::array<std::uint32_t, entriesPerTable> &bitmasks,
+                 std::vector<Pid> pid_list)
+    {
+        bitmasks_ = bitmasks;
+        pid_list_ = std::move(pid_list);
+    }
+    /** @} */
+
   private:
     Ppn frame_;
     Addr region_base_;

@@ -131,6 +131,21 @@ class MappedObject
     /** Mark all future first-touches as minor faults (page cache warm). */
     void markResident() { preloaded_ = true; }
 
+    /** @{ @name Checkpointing (Kernel only) */
+    bool preloaded() const { return preloaded_; }
+    const std::vector<Ppn> &frames() const { return frames_; }
+    /** Overwrite the mutable state; id/name/size/kind stay immutable. */
+    void
+    restoreState(bool preloaded, unsigned mappers, std::vector<Ppn> frames)
+    {
+        bf_assert(frames.size() == frames_.size(),
+                  "object frame-vector size mismatch for ", name_);
+        preloaded_ = preloaded;
+        mappers_ = mappers;
+        frames_ = std::move(frames);
+    }
+    /** @} */
+
   private:
     std::uint64_t id_;
     std::string name_;

@@ -134,6 +134,18 @@ class Process
     AslrTransform aslr_transform{};
     /** @} */
 
+    /** @{ @name Checkpointing (Kernel::restore only) */
+    void setPgd(PageTablePage *pgd) { pgd_ = pgd; }
+    const std::vector<std::pair<Addr, int>> &maskBits() const
+    {
+        return mask_bits_;
+    }
+    void setMaskBits(std::vector<std::pair<Addr, int>> bits)
+    {
+        mask_bits_ = std::move(bits);
+    }
+    /** @} */
+
   private:
     Pid pid_;
     Pcid pcid_;

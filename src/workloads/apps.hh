@@ -144,6 +144,11 @@ AppInstance buildApp(vm::Kernel &kernel, const AppProfile &profile,
 void prefault(vm::Kernel &kernel, vm::Process &proc, Addr start,
               std::uint64_t bytes, AccessType type);
 
+/** @{ @name MemRef (de)serialization, shared by the thread classes. */
+void saveMemRef(snap::ArchiveWriter &ar, const core::MemRef &ref);
+core::MemRef restoreMemRef(snap::ArchiveReader &ar);
+/** @} */
+
 /** Common machinery: a thread fed from a replenishable ref queue. */
 class QueueThread : public core::Thread
 {
@@ -154,6 +159,10 @@ class QueueThread : public core::Thread
 
     vm::Process *process() override { return proc_; }
     const std::string &name() const override { return name_; }
+
+    /** RNG state and the queued burst; subclasses call these first. */
+    void saveState(snap::ArchiveWriter &ar) const override;
+    void restoreState(snap::ArchiveReader &ar) override;
 
     bool
     next(core::MemRef &ref) override
@@ -189,6 +198,9 @@ class DataServingThread : public QueueThread
                       std::uint64_t seed);
 
     void completed(const core::MemRef &ref, Cycles now) override;
+
+    void saveState(snap::ArchiveWriter &ar) const override;
+    void restoreState(snap::ArchiveReader &ar) override;
 
     /** Request latencies in cycles (mean / p95 for Fig. 11). */
     stats::LatencyTracker &latency() { return latency_; }
@@ -226,6 +238,9 @@ class ComputeThread : public QueueThread
                   std::uint64_t seed);
 
     void completed(const core::MemRef &ref, Cycles now) override;
+
+    void saveState(snap::ArchiveWriter &ar) const override;
+    void restoreState(snap::ArchiveReader &ar) override;
 
     /** Work units completed (normalized execution-time metric). */
     std::uint64_t unitsDone() const { return units_done_; }

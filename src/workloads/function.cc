@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/snapshot.hh"
 
 namespace bf::workloads
 {
@@ -277,6 +278,36 @@ FunctionThread::completed(const core::MemRef &ref, Cycles now)
         exec_end_ = now;
         phase_ = Phase::Done;
     }
+}
+
+void
+FunctionThread::saveState(snap::ArchiveWriter &ar) const
+{
+    QueueThread::saveState(ar);
+    ar.u8(static_cast<std::uint8_t>(phase_));
+    ar.u64(bringup_cursor_);
+    ar.u32(cow_done_);
+    ar.u64(config_read_done_);
+    ar.u64(input_cursor_);
+    ar.b(started_);
+    ar.u64(start_);
+    ar.u64(bringup_end_);
+    ar.u64(exec_end_);
+}
+
+void
+FunctionThread::restoreState(snap::ArchiveReader &ar)
+{
+    QueueThread::restoreState(ar);
+    phase_ = static_cast<Phase>(ar.u8());
+    bringup_cursor_ = ar.u64();
+    cow_done_ = ar.u32();
+    config_read_done_ = ar.u64();
+    input_cursor_ = ar.u64();
+    started_ = ar.b();
+    start_ = ar.u64();
+    bringup_end_ = ar.u64();
+    exec_end_ = ar.u64();
 }
 
 } // namespace bf::workloads

@@ -80,6 +80,9 @@ class FunctionThread : public QueueThread
     bool finished() const override { return phase_ == Phase::Done; }
     void completed(const core::MemRef &ref, Cycles now) override;
 
+    void saveState(snap::ArchiveWriter &ar) const override;
+    void restoreState(snap::ArchiveReader &ar) override;
+
     /** @{ @name Measurements (cycles) */
     Cycles bringupCycles() const { return bringup_end_ - start_; }
     Cycles execCycles() const { return exec_end_ - bringup_end_; }

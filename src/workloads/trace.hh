@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/snapshot.hh"
 #include "core/thread.hh"
 
 namespace bf::workloads
@@ -70,6 +71,21 @@ class TraceThread : public core::Thread
     replayed() const
     {
         return done_loops_ * trace_.size() + pos_;
+    }
+
+    /** The trace itself is config (rebuilt); only the cursor is state. */
+    void
+    saveState(snap::ArchiveWriter &ar) const override
+    {
+        ar.u64(pos_);
+        ar.u64(done_loops_);
+    }
+
+    void
+    restoreState(snap::ArchiveReader &ar) override
+    {
+        pos_ = static_cast<std::size_t>(ar.u64());
+        done_loops_ = ar.u64();
     }
 
   private:

@@ -125,6 +125,7 @@ class YcsbClient
     }
 
     Rng &rng() { return rng_; }
+    const Rng &rng() const { return rng_; }
 
   private:
     Rng rng_;

@@ -26,9 +26,18 @@ Usage:
 
 With --bench the bench is run under the pinned environment
 (BF_FAST=1 BF_SAMPLE_MS=0 BF_JOBS=1 BF_WORKERS=1 BF_SYNC_CHUNK=20000)
-into a temp directory. --update rewrites the golden file from the
-produced output instead of diffing. On drift the first mismatching
-stat paths are printed as a unified golden(-) -> produced(+) diff.
+into a temp directory; the caller's environment is passed through
+underneath, so checkpoint knobs (BF_CKPT / BF_RESTORE) layer onto the
+pinned run — CI uses that for the save/restore round-trip gate. --update
+rewrites the golden file from the produced output instead of diffing.
+On drift the first mismatching stat paths are printed as a unified
+golden(-) -> produced(+) diff.
+
+Exit codes distinguish the failure classes so CI can tell them apart:
+  0  stats match (or golden updated)
+  1  STAT DRIFT: the bench ran fine but its stats diverge
+  2  usage error (argparse)
+  3  BENCH FAILED: the bench crashed or produced no report
 """
 
 import argparse
@@ -98,15 +107,26 @@ def diff(path, golden, produced, out, limit=DIFF_LIMIT):
         out.append((path, golden, produced))
 
 
+# Exit codes (see module docstring).
+EXIT_DRIFT = 1
+EXIT_BENCH_FAILED = 3
+
+
 def run_bench(bench, out_dir):
     env = dict(os.environ)
     env.update(PINNED_ENV)
     env["BF_JSON_DIR"] = out_dir
-    subprocess.run([bench], env=env, check=True, stdout=subprocess.DEVNULL)
+    try:
+        subprocess.run([bench], env=env, check=True,
+                       stdout=subprocess.DEVNULL)
+    except (subprocess.CalledProcessError, OSError) as err:
+        print(f"BENCH FAILED: {bench}: {err}", file=sys.stderr)
+        sys.exit(EXIT_BENCH_FAILED)
     reports = [f for f in os.listdir(out_dir) if f.startswith("BENCH_")]
     if len(reports) != 1:
-        sys.exit(f"expected exactly one BENCH_*.json in {out_dir}, "
-                 f"got {reports}")
+        print(f"BENCH FAILED: expected exactly one BENCH_*.json in "
+              f"{out_dir}, got {reports}", file=sys.stderr)
+        sys.exit(EXIT_BENCH_FAILED)
     return os.path.join(out_dir, reports[0])
 
 
@@ -152,7 +172,7 @@ def main():
                 print(f"  - {path}: {old!r}")
             if new is not None:
                 print(f"  + {path}: {new!r}")
-        sys.exit(1)
+        sys.exit(EXIT_DRIFT)
     print(f"golden stats match ({args.golden})")
 
 
