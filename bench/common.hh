@@ -29,6 +29,18 @@
  *                  file falls back to a cold start with a warning.
  *   BF_CKPT_EVERY_MS  additionally re-save every N simulated ms during
  *                  the run (crash recovery for long runs).
+ *   BF_TRACE=dir   record a translation-pipeline event trace of every
+ *                  run into dir, one "<profile>-<hash>.trace" file per
+ *                  configuration (inspect/convert with tools/bf_trace).
+ *                  Trace bytes are identical at every BF_WORKERS.
+ *   BF_TRACE_EVENTS  bit mask of traced event types (default: all;
+ *                  see common/trace/trace.hh for the bit order).
+ *   BF_TRACE_LIMIT   cap on records written per trace (0 = unlimited;
+ *                  excess records are counted as dropped).
+ *   BF_LOG=quiet|warn|info  log level (common/logging.hh). Takes
+ *                  precedence over the benches' default quieting, so
+ *                  `BF_LOG=quiet` also silences warnings and
+ *                  `BF_LOG=info` restores inform() output.
  */
 
 #ifndef BF_BENCH_COMMON_HH
@@ -71,6 +83,9 @@ struct RunConfig
     std::string ckpt_dir;      //!< BF_CKPT: save post-warm-up state here.
     std::string restore_dir;   //!< BF_RESTORE: load warm-up state from here.
     double ckpt_every_ms = 0;  //!< BF_CKPT_EVERY_MS: periodic autosave.
+    std::string trace_dir;     //!< BF_TRACE: event-trace output directory.
+    std::uint32_t trace_events = 0xffffffffu; //!< BF_TRACE_EVENTS mask.
+    std::uint64_t trace_limit = 0;            //!< BF_TRACE_LIMIT cap.
 
     static RunConfig
     fromEnv()
@@ -109,21 +124,29 @@ struct RunConfig
             cfg.restore_dir = dir;
         if (const char *ms = std::getenv("BF_CKPT_EVERY_MS"))
             cfg.ckpt_every_ms = std::atof(ms);
+        if (const char *dir = std::getenv("BF_TRACE"))
+            cfg.trace_dir = dir;
+        if (const char *mask = std::getenv("BF_TRACE_EVENTS"))
+            cfg.trace_events = static_cast<std::uint32_t>(
+                std::strtoul(mask, nullptr, 0));
+        if (const char *limit = std::getenv("BF_TRACE_LIMIT"))
+            cfg.trace_limit = std::strtoull(limit, nullptr, 0);
         return cfg;
     }
 
     /**
-     * Name of the checkpoint file a run saves/loads:
-     * "<profile>-<16 hex>.ckpt", hashing every knob that shapes the
-     * warmed state. measure_ms, jobs and BF_WORKERS are deliberately
-     * excluded: the measurement window happens after the checkpoint,
-     * and the worker count cannot change simulated state (the bound/
-     * weave determinism guarantee) — so one warm-up checkpoint serves
-     * every measurement length and host parallelism level.
+     * FNV-1a hash over every knob that shapes simulated state,
+     * including the TLB geometry (so configurations differing only in
+     * TLB sizes, like bench_larger_tlb's, get distinct tags).
+     * measure_ms, jobs and BF_WORKERS are deliberately excluded: the
+     * measurement window happens after a warm-up checkpoint, and the
+     * worker count cannot change simulated state (the bound/weave
+     * determinism guarantee) — so one tag serves every measurement
+     * length and host parallelism level, and trace files produced at
+     * different BF_WORKERS land on the same name for byte comparison.
      */
-    std::string
-    checkpointTag(const std::string &name,
-                  const core::SystemParams &params) const
+    std::uint64_t
+    configHash(const core::SystemParams &params) const
     {
         std::uint64_t hash = 1469598103934665603ull; // FNV-1a offset
         const auto mix = [&hash](std::uint64_t value) {
@@ -144,6 +167,17 @@ struct RunConfig
         mix(params.mmu.babelfish);
         mix(params.mmu.force_long_l2);
         mix(params.mmu.aslr_transform_cycles);
+        const auto mixTlb = [&mix](const tlb::TlbParams &t) {
+            mix(t.entries);
+            mix(t.assoc);
+        };
+        mixTlb(params.mmu.l1i_4k);
+        mixTlb(params.mmu.l1d_4k);
+        mixTlb(params.mmu.l1d_2m);
+        mixTlb(params.mmu.l1d_1g);
+        mixTlb(params.mmu.l2_4k);
+        mixTlb(params.mmu.l2_2m);
+        mixTlb(params.mmu.l2_1g);
         mixDouble(params.core.base_cpi);
         mix(params.core.quantum);
         mix(params.core.context_switch_cycles);
@@ -154,10 +188,55 @@ struct RunConfig
         mixDouble(warm_ms);
         mixDouble(sample_ms);
         mix(seed);
+        return hash;
+    }
+
+    /** "<profile>-<16 hex of configHash>.<ext>" */
+    std::string
+    tagFor(const std::string &name, const core::SystemParams &params,
+           const char *ext) const
+    {
         char hex[17];
         std::snprintf(hex, sizeof hex, "%016llx",
-                      static_cast<unsigned long long>(hash));
-        return name + "-" + hex + ".ckpt";
+                      static_cast<unsigned long long>(configHash(params)));
+        return name + "-" + hex + ext;
+    }
+
+    /** Name of the checkpoint file a run saves/loads. */
+    std::string
+    checkpointTag(const std::string &name,
+                  const core::SystemParams &params) const
+    {
+        return tagFor(name, params, ".ckpt");
+    }
+
+    /**
+     * Name of the event-trace file a run writes under BF_TRACE. Note
+     * that repeated runs of an identical configuration in one bench
+     * overwrite each other's trace — the last run's file survives.
+     */
+    std::string
+    traceTag(const std::string &name,
+             const core::SystemParams &params) const
+    {
+        return tagFor(name, params, ".trace");
+    }
+
+    /**
+     * Point a parameter set's tracing knobs at
+     * "<BF_TRACE>/<profile>-<hash>.trace" (no-op without BF_TRACE).
+     */
+    void
+    applyTraceKnobs(core::SystemParams &params,
+                    const std::string &name) const
+    {
+        if (trace_dir.empty())
+            return;
+        std::error_code ec;
+        std::filesystem::create_directories(trace_dir, ec);
+        params.trace_path = trace_dir + "/" + traceTag(name, params);
+        params.trace_events = trace_events;
+        params.trace_limit = trace_limit;
     }
 
     /** Stamp the System-execution knobs into a parameter set. */
@@ -207,6 +286,12 @@ reportConfig(BenchReport &report, const RunConfig &cfg)
     report.config("workers", cfg.system_workers);
     report.config("sync_chunk", static_cast<double>(cfg.sync_chunk));
     report.config("seed", static_cast<double>(cfg.seed));
+    report.config("ckpt_dir", cfg.ckpt_dir);
+    report.config("restore_dir", cfg.restore_dir);
+    report.config("ckpt_every_ms", cfg.ckpt_every_ms);
+    report.config("trace", cfg.trace_dir);
+    report.config("trace_events", static_cast<double>(cfg.trace_events));
+    report.config("trace_limit", static_cast<double>(cfg.trace_limit));
 }
 
 /** Serialize a finished System's stats + time series + cap flag. */
@@ -217,6 +302,7 @@ captureArtifacts(const core::System &sys)
     artifacts.stats_json = stats::toJsonString(sys.stats());
     artifacts.timeseries_json = sys.sampler().toJsonString();
     artifacts.capped = sys.run_capped.value() > 0;
+    artifacts.trace_path = sys.params().trace_path;
     return artifacts;
 }
 
@@ -282,6 +368,7 @@ runApp(const workloads::AppProfile &profile,
 {
     params.num_cores = cfg.num_cores;
     cfg.applyExecKnobs(params);
+    cfg.applyTraceKnobs(params, profile.name);
     core::System sys(params);
     if (cfg.sampleInterval())
         sys.enableSampling(cfg.sampleInterval());
@@ -386,6 +473,8 @@ runFaas(core::SystemParams params, bool sparse, const RunConfig &cfg)
     // three short-lived containers as the FaaS runtime does (their
     // bring-ups genuinely overlap in time).
     params.core.quantum = msToCycles(0.5);
+    cfg.applyTraceKnobs(params,
+                        sparse ? "functions-sparse" : "functions-dense");
     core::System sys(params);
     if (cfg.sampleInterval())
         sys.enableSampling(cfg.sampleInterval());

@@ -4,10 +4,10 @@
  * BENCH_<name>.json next to its stdout tables so the perf trajectory
  * can be tracked PR-over-PR without scraping text.
  *
- * Schema (version 2; see README.md "Reading the stats output"):
+ * Schema (version 3; see README.md "Reading the stats output"):
  *
  *   {
- *     "schema_version": 2,
+ *     "schema_version": 3,
  *     "bench": "<name>",
  *     "config": { "<knob>": <number|string>, ... },
  *     "metrics": { "<headline metric>": <number>, ... },
@@ -15,6 +15,7 @@
  *     "runs": {
  *       "<label>": {
  *         "capped": <bool>,
+ *         "trace_file": "<path or empty when tracing was off>",
  *         "stats": { <stats::toJson of the System tree> },
  *         "timeseries": { <StatSampler::toJson> }
  *       }, ...
@@ -31,8 +32,12 @@
  *
  * Version 2 added the host-speed section ("host": wall-clock seconds and
  * simulated MIPS per workload, written by bench_simspeed) and free-form
- * "notes" (e.g. baseline_mips / speedup bookkeeping). Both sections are
- * additive; the architectural stats under "runs" are unchanged.
+ * "notes" (e.g. baseline_mips / speedup bookkeeping). Version 3 records
+ * external artifact paths per run ("trace_file": the BF_TRACE event
+ * trace; the time series stays embedded under "timeseries") and the
+ * effective values of every BF_* execution knob under "config". All
+ * additions are additive; the architectural stats under "runs" are
+ * unchanged.
  *
  * Environment knobs: BF_JSON=0 disables the file; BF_JSON_DIR=<dir>
  * redirects it (default: the current directory).
@@ -58,6 +63,7 @@ struct RunArtifacts
 {
     std::string stats_json;      //!< stats::toJson of the final tree.
     std::string timeseries_json; //!< StatSampler::toJson.
+    std::string trace_path;      //!< Event-trace file ("" = tracing off).
     bool capped = false;         //!< Run hit the runUntilFinished cap.
 };
 
@@ -174,7 +180,7 @@ class BenchReport
             std::fprintf(stderr, "could not write %s\n", path().c_str());
             return;
         }
-        os << "{\"schema_version\":2,\"bench\":\""
+        os << "{\"schema_version\":3,\"bench\":\""
            << bf::stats::jsonEscape(name_) << "\",\"config\":{";
         bool first = true;
         for (const auto &[key, value] : config_) {
@@ -194,7 +200,10 @@ class BenchReport
         for (const auto &[label, artifacts] : runs_) {
             os << (first ? "" : ",") << '"'
                << bf::stats::jsonEscape(label) << "\":{\"capped\":"
-               << (artifacts.capped ? "true" : "false") << ",\"stats\":"
+               << (artifacts.capped ? "true" : "false")
+               << ",\"trace_file\":\""
+               << bf::stats::jsonEscape(artifacts.trace_path)
+               << "\",\"stats\":"
                << (artifacts.stats_json.empty() ? "{}"
                                                 : artifacts.stats_json)
                << ",\"timeseries\":"

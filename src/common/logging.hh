@@ -4,6 +4,14 @@
  *
  * panic() is for simulator bugs (aborts); fatal() is for user/configuration
  * errors (clean exit); warn()/inform() report conditions without stopping.
+ *
+ * Output below panic/fatal is gated by a process-wide log level:
+ * `quiet` silences warn() and inform(), `warn` keeps warnings only, and
+ * `info` (the default) prints everything. The BF_LOG environment
+ * variable (quiet|warn|info) pins the level and takes precedence over
+ * the benches' programmatic setVerbose(false) default, so e.g.\
+ * BF_JOBS-parallel bench runs can be silenced — or un-silenced — without
+ * a rebuild.
  */
 
 #ifndef BF_COMMON_LOGGING_HH
@@ -14,6 +22,14 @@
 
 namespace bf
 {
+
+/** How much non-fatal output reaches the terminal. */
+enum class LogLevel : int
+{
+    Quiet = 0, //!< Nothing below fatal.
+    Warn = 1,  //!< warn() only.
+    Info = 2,  //!< warn() and inform() (default).
+};
 
 namespace detail
 {
@@ -42,11 +58,20 @@ void warnImpl(const std::string &msg);
 /** Print "info: ...". */
 void informImpl(const std::string &msg);
 
-/** Globally enable/disable inform() output (benches quiet it). */
+/**
+ * Globally enable/disable inform() output (benches quiet it). A BF_LOG
+ * environment setting takes precedence over this legacy toggle.
+ */
 void setVerbose(bool verbose);
 
-/** Current verbosity. */
+/** Current verbosity (true when inform() prints). */
 bool verbose();
+
+/** Force the log level, overriding BF_LOG and setVerbose. */
+void setLogLevel(LogLevel level);
+
+/** Effective log level (BF_LOG is parsed on first use). */
+LogLevel logLevel();
 
 } // namespace detail
 
@@ -71,7 +96,8 @@ template <typename... Args>
 void
 warn(Args &&...args)
 {
-    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+    if (detail::logLevel() >= LogLevel::Warn)
+        detail::warnImpl(detail::concat(std::forward<Args>(args)...));
 }
 
 /** Report normal operating status. */
@@ -79,7 +105,7 @@ template <typename... Args>
 void
 inform(Args &&...args)
 {
-    if (detail::verbose())
+    if (detail::logLevel() >= LogLevel::Info)
         detail::informImpl(detail::concat(std::forward<Args>(args)...));
 }
 

@@ -39,8 +39,11 @@ class SnapshotError : public std::runtime_error
     using std::runtime_error::runtime_error;
 };
 
-/** Bumped whenever the serialized component layout changes. */
-inline constexpr std::uint32_t formatVersion = 1;
+/**
+ * Bumped whenever the serialized component layout changes.
+ * History: 1 = initial layout; 2 = Distribution stats in the stat tree.
+ */
+inline constexpr std::uint32_t formatVersion = 2;
 
 /** CRC32 (IEEE 802.3, reflected) of a byte range. */
 std::uint32_t crc32(const std::uint8_t *data, std::size_t len);

@@ -35,6 +35,25 @@ Histogram::reset()
     max_ = 0;
 }
 
+std::uint64_t
+Distribution::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0;
+    bf_assert(p >= 0.0 && p <= 100.0, "percentile out of range: ", p);
+    auto rank = static_cast<std::uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(count_)));
+    if (rank == 0)
+        rank = 1;
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        cumulative += buckets_[i];
+        if (cumulative >= rank)
+            return i == 0 ? 0 : std::uint64_t{1} << i;
+    }
+    return max_;
+}
+
 double
 LatencyTracker::mean() const
 {
@@ -98,6 +117,14 @@ StatGroup::addStat(const std::string &name, const LatencyTracker *stat)
     latencies_[name] = stat;
 }
 
+void
+StatGroup::addStat(const std::string &name, const Distribution *stat)
+{
+    bf_assert(!distributions_.count(name), "duplicate stat ", path(), ".",
+              name);
+    distributions_[name] = stat;
+}
+
 std::string
 StatGroup::path() const
 {
@@ -122,6 +149,12 @@ StatGroup::dump(std::ostream &os) const
            << "\n";
         os << prefix << "." << name << ".count " << stat->count() << "\n";
     }
+    for (const auto &[name, stat] : distributions_) {
+        os << prefix << "." << name << ".mean " << stat->mean() << "\n";
+        os << prefix << "." << name << ".p95 " << stat->percentile(95)
+           << "\n";
+        os << prefix << "." << name << ".count " << stat->count() << "\n";
+    }
     for (const auto *child : children_)
         child->dump(os);
 }
@@ -136,6 +169,8 @@ StatGroup::accept(StatVisitor &visitor) const
         visitor.visitAverage(*this, name, *stat);
     for (const auto &[name, stat] : latencies_)
         visitor.visitLatency(*this, name, *stat);
+    for (const auto &[name, stat] : distributions_)
+        visitor.visitDistribution(*this, name, *stat);
     for (const auto *child : children_)
         child->accept(visitor);
     visitor.endGroup(*this);
@@ -163,6 +198,17 @@ StatGroup::saveStats(snap::ArchiveWriter &ar) const
         ar.u64(samples.size());
         for (double s : samples)
             ar.f64(s);
+    }
+    ar.u32(static_cast<std::uint32_t>(distributions_.size()));
+    for (const auto &[name, stat] : distributions_) {
+        ar.str(name);
+        const auto &buckets = stat->buckets();
+        ar.u32(static_cast<std::uint32_t>(buckets.size()));
+        for (std::uint64_t b : buckets)
+            ar.u64(b);
+        ar.u64(stat->count());
+        ar.u64(stat->sum());
+        ar.u64(stat->max());
     }
     ar.u32(static_cast<std::uint32_t>(children_.size()));
     for (const auto *child : children_)
@@ -229,6 +275,18 @@ StatGroup::restoreStats(snap::ArchiveReader &ar)
             s = ar.f64();
         const_cast<LatencyTracker *>(stat)->restoreSamples(
             std::move(samples));
+    }
+    verifyCount("distribution", *this, ar.u32(), distributions_.size());
+    for (const auto &[name, stat] : distributions_) {
+        verifyName("distribution", *this, ar.str(), name);
+        std::vector<std::uint64_t> buckets(ar.u32());
+        for (std::uint64_t &b : buckets)
+            b = ar.u64();
+        const std::uint64_t count = ar.u64();
+        const std::uint64_t sum = ar.u64();
+        const std::uint64_t max = ar.u64();
+        const_cast<Distribution *>(stat)->restoreState(std::move(buckets),
+                                                       count, sum, max);
     }
     verifyCount("child group", *this, ar.u32(), children_.size());
     for (auto *child : children_)

@@ -122,6 +122,84 @@ class Histogram
 };
 
 /**
+ * A registered log2-bucketed distribution with approximate percentiles.
+ *
+ * Unlike LatencyTracker (exact, stores every sample) this is O(1) per
+ * sample and O(64) memory, so it can sit on hot paths that fire millions
+ * of times per run (TLB-miss and page-walk latencies). Bucket i counts
+ * samples in [2^i, 2^(i+1)) (values 0 and 1 both land in bucket 0);
+ * percentiles are nearest-rank over the cumulative bucket counts and
+ * report the bucket's lower bound. All state is integer, so the exported
+ * values — and the snapshot round-trip — are bit-exact regardless of
+ * sample arrival order.
+ */
+class Distribution
+{
+  public:
+    /** Record one sample. */
+    void
+    sample(std::uint64_t value)
+    {
+        std::size_t bucket = 0;
+        for (std::uint64_t v = value; v > 1; v >>= 1)
+            ++bucket;
+        if (bucket >= buckets_.size())
+            buckets_.resize(bucket + 1, 0);
+        ++buckets_[bucket];
+        ++count_;
+        sum_ += value;
+        max_ = std::max(max_, value);
+    }
+
+    /** Number of samples recorded. */
+    std::uint64_t count() const { return count_; }
+
+    /** Integer sum of all samples (order-independent). */
+    std::uint64_t sum() const { return sum_; }
+
+    /** Mean of the recorded samples, 0 if empty. */
+    double
+    mean() const
+    {
+        return count_ ? static_cast<double>(sum_) /
+                            static_cast<double>(count_)
+                      : 0.0;
+    }
+
+    /** Largest sample recorded. */
+    std::uint64_t max() const { return max_; }
+
+    /**
+     * Nearest-rank percentile over the bucket counts: the lower bound of
+     * the bucket holding the p-th percentile sample (0 if empty).
+     * @param p percentile in [0, 100].
+     */
+    std::uint64_t percentile(double p) const;
+
+    /** Bucket counts (index i covers [2^i, 2^(i+1))). */
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+
+    void reset() { buckets_.clear(); count_ = 0; sum_ = 0; max_ = 0; }
+
+    /** Overwrite all state (checkpoint restore only). */
+    void
+    restoreState(std::vector<std::uint64_t> buckets, std::uint64_t count,
+                 std::uint64_t sum, std::uint64_t max)
+    {
+        buckets_ = std::move(buckets);
+        count_ = count;
+        sum_ = sum;
+        max_ = max;
+    }
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+/**
  * Exact percentile tracker: stores all samples. Data-serving runs record
  * one latency per request (tens of thousands), so this stays small.
  */
@@ -172,10 +250,11 @@ class StatGroup;
  * Read-only visitor over a StatGroup tree (see StatGroup::accept).
  *
  * For each group the walk calls beginGroup, then every registered stat
- * of that group (scalars, then averages, then latency trackers, each in
- * name order), then recurses into the children in registration order,
- * and finally calls endGroup. Serializers (stats_export.hh) and tests
- * build on this instead of reaching into the containers.
+ * of that group (scalars, then averages, then latency trackers, then
+ * distributions, each in name order), then recurses into the children in
+ * registration order, and finally calls endGroup. Serializers
+ * (stats_export.hh) and tests build on this instead of reaching into the
+ * containers.
  */
 class StatVisitor
 {
@@ -198,6 +277,12 @@ class StatVisitor
     virtual void visitLatency(const StatGroup &group,
                               const std::string &name,
                               const LatencyTracker &stat)
+    {
+        (void)group; (void)name; (void)stat;
+    }
+    virtual void visitDistribution(const StatGroup &group,
+                                   const std::string &name,
+                                   const Distribution &stat)
     {
         (void)group; (void)name; (void)stat;
     }
@@ -225,6 +310,8 @@ class StatGroup
     void addStat(const std::string &name, const Average *stat);
     /** Register a latency tracker under this group. */
     void addStat(const std::string &name, const LatencyTracker *stat);
+    /** Register a distribution under this group. */
+    void addStat(const std::string &name, const Distribution *stat);
 
     /** Fully qualified dotted path of this group. */
     std::string path() const;
@@ -238,8 +325,8 @@ class StatGroup
     /**
      * @{ @name Checkpointing
      * Serialize every stat in the tree in the canonical accept() order
-     * (scalars, averages, latency trackers in name order; children in
-     * registration order). Restore walks the same order against the
+     * (scalars, averages, latency trackers, distributions in name order;
+     * children in registration order). Restore walks the same order against the
      * rebuilt tree and verifies each group and stat name, so a topology
      * mismatch surfaces as a SnapshotError naming the first divergence
      * rather than as silently scrambled counters.
@@ -273,6 +360,10 @@ class StatGroup
     {
         return latencies_;
     }
+    const std::map<std::string, const Distribution *> &distributions() const
+    {
+        return distributions_;
+    }
     /** @} */
 
   private:
@@ -282,6 +373,7 @@ class StatGroup
     std::map<std::string, const Scalar *> scalars_;
     std::map<std::string, const Average *> averages_;
     std::map<std::string, const LatencyTracker *> latencies_;
+    std::map<std::string, const Distribution *> distributions_;
 
     const Scalar *findScalar(const std::string &rel_path) const;
 };

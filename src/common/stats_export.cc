@@ -77,6 +77,25 @@ writeGroupJson(const StatGroup &group, std::ostream &os)
            << ",\"count\":" << stat->count() << '}';
         first = false;
     }
+    os << "},\"distributions\":{";
+    first = true;
+    for (const auto &[name, stat] : group.distributions()) {
+        os << (first ? "" : ",") << '"' << jsonEscape(name)
+           << "\":{\"mean\":" << jsonNumber(stat->mean())
+           << ",\"p50\":" << stat->percentile(50)
+           << ",\"p95\":" << stat->percentile(95)
+           << ",\"p99\":" << stat->percentile(99)
+           << ",\"max\":" << stat->max()
+           << ",\"sum\":" << stat->sum()
+           << ",\"count\":" << stat->count() << ",\"buckets\":[";
+        bool bfirst = true;
+        for (std::uint64_t bucket : stat->buckets()) {
+            os << (bfirst ? "" : ",") << bucket;
+            bfirst = false;
+        }
+        os << "]}";
+        first = false;
+    }
     os << "},\"children\":{";
     first = true;
     for (const auto *child : group.children()) {
@@ -114,6 +133,18 @@ class FlatTextWriter : public StatVisitor
     void
     visitLatency(const StatGroup &group, const std::string &name,
                  const LatencyTracker &stat) override
+    {
+        os_ << group.path() << '.' << name << ".mean=" << stat.mean()
+            << '\n';
+        os_ << group.path() << '.' << name << ".p95="
+            << stat.percentile(95) << '\n';
+        os_ << group.path() << '.' << name << ".count=" << stat.count()
+            << '\n';
+    }
+
+    void
+    visitDistribution(const StatGroup &group, const std::string &name,
+                      const Distribution &stat) override
     {
         os_ << group.path() << '.' << name << ".mean=" << stat.mean()
             << '\n';

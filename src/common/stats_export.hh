@@ -11,6 +11,10 @@
  *       "averages": {"occ": {"mean": 1.5, "sum": 3.0, "count": 2}},
  *       "latencies": {"req": {"mean": ..., "p50": ..., "p95": ...,
  *                             "p99": ..., "count": ...}},
+ *       "distributions": {"walk_latency": {"mean": ..., "p50": ...,
+ *                             "p95": ..., "p99": ..., "max": ...,
+ *                             "sum": ..., "count": ...,
+ *                             "buckets": [...]}},
  *       "children": {"core0": { ... }}}
  *
  *  - flat text: one "path.name=value" line per stat (averages and

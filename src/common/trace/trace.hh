@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Deterministic binary event tracing of the translation pipeline
+ * (DESIGN.md §12).
+ *
+ * A Tracer owns one output file and one append-only record buffer per
+ * simulated core. Instrumented components (MMU, page walker, kernel)
+ * record typed events stamped with (sim-timestamp, core, seq, ccid, pid,
+ * vaddr-page); the per-core seq counters never reset, so the triple
+ * (ts, core, seq) is a unique, deterministic sort key. At every weave
+ * barrier System calls flushBarrier(), which merges the per-core buffers
+ * in canonical (ts, core, seq) order and appends them to the file as one
+ * framed block.
+ *
+ * Determinism argument (mirrors core/epoch.hh): during a bound phase a
+ * core's buffer is appended only by the host thread running that core,
+ * and the per-core event stream is a pure function of that core's
+ * simulated execution — which PR 3 already guarantees is independent of
+ * the worker count. Kernel-side events (fault service, CoW
+ * privatization, shootdowns) occur only in single-threaded windows and
+ * are attributed to the faulting core via setKernelContext. The merge
+ * key is unique, so the flushed byte stream — and therefore the whole
+ * file — is byte-identical at every BF_WORKERS.
+ *
+ * File layout (all integers little-endian):
+ *
+ *     magic[8]  "BFTRACE\0"
+ *     u32       trace format version
+ *     u32       record size in bytes (40)
+ *     u32       number of simulated cores
+ *     u32       event mask the trace was captured with
+ *     u64       record count   (patched on finish)
+ *     u64       dropped count  (records beyond BF_TRACE_LIMIT)
+ *     u64       reserved (0)
+ *     blocks    each: u32 block magic, u32 record count, records
+ *
+ * Records are framed into one block per weave barrier because global
+ * timestamp sortedness cannot hold across barriers: a core's chunk-N
+ * events may overshoot the barrier past another core's first chunk-N+1
+ * events. Within a block records are (ts, core, seq)-sorted, and each
+ * core's seq values increase strictly across the whole file — the
+ * validator checks both.
+ */
+
+#ifndef BF_COMMON_TRACE_TRACE_HH
+#define BF_COMMON_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace bf::trace
+{
+
+/** Typed events of the translation pipeline. */
+enum class EventType : std::uint8_t
+{
+    TlbL1Hit = 0,     //!< L1 TLB hit. flags: hit flags below.
+    TlbL2Hit = 1,     //!< L2 TLB hit. flags: hit flags below.
+    TlbMiss = 2,      //!< Miss in both TLB levels; a walk follows.
+    PwcHit = 3,       //!< Walk step served by the PWC. arg = level.
+    WalkStart = 4,    //!< Page walk issued.
+    WalkStep = 5,     //!< Walk step into the hierarchy. arg = level,
+                      //!< flags = serving mem level (provisional L3
+                      //!< for bound-phase deferred steps).
+    WalkEnd = 6,      //!< Walk finished. arg = walk cycles,
+                      //!< flags = WalkStatus.
+    FaultService = 7, //!< Kernel fault service. arg = kernel cycles,
+                      //!< flags = FaultKind.
+    CowPrivatize = 8, //!< 512-entry leaf table privatized (O-PC).
+    MaskFallback = 9, //!< >32-writer MaskPage revert of a region.
+    Shootdown = 10,   //!< TLB invalidation broadcast.
+                      //!< arg = number of pages, flags = kind.
+};
+
+/** Number of event types (mask width). */
+inline constexpr unsigned numEventTypes = 11;
+
+/** Mask with every event enabled (BF_TRACE_EVENTS default). */
+inline constexpr std::uint32_t allEvents = (1u << numEventTypes) - 1;
+
+/** Human-readable event name ("?" for unknown types). */
+const char *eventTypeName(EventType type);
+
+/** @{ @name Flag bits of the TLB hit/miss events */
+inline constexpr std::uint8_t flagInstr = 1 << 0;     //!< Ifetch access.
+inline constexpr std::uint8_t flagWrite = 1 << 1;     //!< Write access.
+inline constexpr std::uint8_t flagSharedHit = 1 << 2; //!< CCID shared hit.
+inline constexpr std::uint8_t flagOwned = 1 << 3;     //!< O bit of entry.
+inline constexpr std::uint8_t flagOrpc = 1 << 4;      //!< ORPC bit.
+/** @} */
+
+/**
+ * One traced event, in memory. The on-disk form is the same fields
+ * serialized little-endian in declaration order plus 2 zero pad bytes
+ * (40 bytes total).
+ */
+struct Record
+{
+    Cycles ts = 0;           //!< Simulated issue time (core clock).
+    std::uint64_t vpage = 0; //!< Canonical VA >> 12 (event-specific).
+    std::uint64_t arg = 0;   //!< Event-specific payload.
+    std::uint32_t pid = 0;   //!< Faulting/translating process (0: none).
+    std::uint32_t seq = 0;   //!< Per-core record order, never reset.
+    std::uint16_t core = 0;
+    std::uint16_t ccid = 0;
+    std::uint8_t type = 0;   //!< EventType.
+    std::uint8_t flags = 0;
+};
+
+/** On-disk record size in bytes. */
+inline constexpr std::uint32_t recordBytes = 40;
+
+/** On-disk header size in bytes. */
+inline constexpr std::uint32_t headerBytes = 48;
+
+/** Trace format version. */
+inline constexpr std::uint32_t traceFormatVersion = 1;
+
+/** Block frame marker ("BLK1"). */
+inline constexpr std::uint32_t blockMagic = 0x314b4c42;
+
+/** Records translation-pipeline events into per-core buffers. */
+class Tracer
+{
+  public:
+    /**
+     * Open @p path for writing and emit the header. A failed open
+     * leaves the tracer disabled (ok() == false) with a warning —
+     * tracing is observability, never a reason to kill a run.
+     *
+     * @param event_mask bit i enables EventType i (BF_TRACE_EVENTS).
+     * @param limit maximum records written to the file; 0 = unlimited.
+     *        Applied in canonical merge order at flush time, so the
+     *        truncation point is deterministic too. Excess records are
+     *        counted in the header's dropped field.
+     */
+    Tracer(std::string path, unsigned num_cores,
+           std::uint32_t event_mask = allEvents, std::uint64_t limit = 0);
+    ~Tracer();
+
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    /** Whether the output file is open and healthy. */
+    bool ok() const { return file_ != nullptr; }
+
+    /** Whether @p type passes the event mask. */
+    bool
+    wants(EventType type) const
+    {
+        return (mask_ >> static_cast<unsigned>(type)) & 1;
+    }
+
+    /**
+     * Record one event into @p core's buffer. Thread-safety contract:
+     * called either by the host thread running @p core's bound phase,
+     * or from a single-threaded window (fault service, weave).
+     */
+    void
+    record(unsigned core, EventType type, Cycles ts, std::uint16_t ccid,
+           std::uint32_t pid, Addr vaddr, std::uint64_t arg = 0,
+           std::uint8_t flags = 0)
+    {
+        if (!file_ || !wants(type))
+            return;
+        Record rec;
+        rec.ts = ts;
+        rec.vpage = vaddr >> basePageShift;
+        rec.arg = arg;
+        rec.pid = pid;
+        rec.seq = next_seq_[core]++;
+        rec.core = static_cast<std::uint16_t>(core);
+        rec.ccid = ccid;
+        rec.type = static_cast<std::uint8_t>(type);
+        rec.flags = flags;
+        bufs_[core].push_back(rec);
+    }
+
+    /**
+     * @{
+     * @name Kernel attribution context
+     * The kernel has no core or clock of its own; before each fault
+     * service the driver (or the MMU's serial retry path) stamps the
+     * faulting core and fault time here, and kernel-side events recorded
+     * through recordKernel() are attributed to that context. Kernel
+     * mutations only happen in single-threaded windows, so the context
+     * is never raced.
+     */
+    void
+    setKernelContext(unsigned core, Cycles ts)
+    {
+        kctx_core_ = core;
+        kctx_ts_ = ts;
+        kctx_valid_ = true;
+    }
+
+    void clearKernelContext() { kctx_valid_ = false; }
+
+    /** Record an event at the kernel context (no-op outside one). */
+    void
+    recordKernel(EventType type, std::uint16_t ccid, std::uint32_t pid,
+                 Addr vaddr, std::uint64_t arg = 0, std::uint8_t flags = 0)
+    {
+        if (kctx_valid_)
+            record(kctx_core_, type, kctx_ts_, ccid, pid, vaddr, arg,
+                   flags);
+    }
+    /** @} */
+
+    /**
+     * Merge the per-core buffers in (ts, core, seq) order and append
+     * them to the file as one block. Called single-threaded at every
+     * weave barrier.
+     */
+    void flushBarrier();
+
+    /** Final flush, header patch (record/dropped counts), close. */
+    void finish();
+
+    /** Records written to the file so far. */
+    std::uint64_t written() const { return written_; }
+
+    /** Records beyond the limit (counted, not written). */
+    std::uint64_t dropped() const { return dropped_; }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    std::FILE *file_ = nullptr;
+    std::uint32_t mask_ = allEvents;
+    std::uint64_t limit_ = 0;
+    std::uint64_t written_ = 0;
+    std::uint64_t dropped_ = 0;
+
+    std::vector<std::vector<Record>> bufs_;     //!< Per core.
+    std::vector<std::uint32_t> next_seq_;       //!< Per core, monotone.
+    std::vector<Record> merge_buf_;             //!< Reused across flushes.
+    std::vector<std::uint8_t> io_buf_;          //!< Reused across flushes.
+
+    unsigned kctx_core_ = 0;
+    Cycles kctx_ts_ = 0;
+    bool kctx_valid_ = false;
+};
+
+/** Any integrity or format violation found while reading a trace. */
+class TraceError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Decoded trace-file header. */
+struct TraceHeader
+{
+    std::uint32_t version = 0;
+    std::uint32_t record_bytes = 0;
+    std::uint32_t num_cores = 0;
+    std::uint32_t event_mask = 0;
+    std::uint64_t record_count = 0;
+    std::uint64_t dropped_count = 0;
+};
+
+/**
+ * Block-at-a-time reader over a trace file. The constructor validates
+ * the header; nextBlock() decodes one block per call. Malformed input
+ * throws TraceError, never crashes.
+ */
+class TraceReader
+{
+  public:
+    explicit TraceReader(const std::string &path);
+    ~TraceReader();
+
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
+
+    const TraceHeader &header() const { return header_; }
+
+    /**
+     * Decode the next block into @p out (replacing its contents).
+     * @return false at a clean end of file.
+     */
+    bool nextBlock(std::vector<Record> &out);
+
+  private:
+    std::FILE *file_ = nullptr;
+    TraceHeader header_;
+};
+
+/** What validateTrace() found in a healthy file. */
+struct ValidateResult
+{
+    std::uint64_t records = 0;
+    std::uint64_t blocks = 0;
+};
+
+/**
+ * Full integrity scan of a trace file: header sanity, block framing,
+ * known event types, cores within range, per-block (ts, core, seq)
+ * sortedness, strictly increasing per-core seq across the whole file,
+ * and a record count matching the header. @throws TraceError on the
+ * first violation.
+ */
+ValidateResult validateTrace(const std::string &path);
+
+} // namespace bf::trace
+
+#endif // BF_COMMON_TRACE_TRACE_HH

@@ -44,7 +44,40 @@ Mmu::Mmu(unsigned core_id, const MmuParams &params,
     stat_group_.addStat("cow_faults", &cow_faults);
     stat_group_.addStat("shared_installs", &shared_installs);
     stat_group_.addStat("fault_cycles", &fault_cycles);
+    stat_group_.addStat("miss_latency", &miss_latency);
 }
+
+void
+Mmu::setTracer(trace::Tracer *tracer)
+{
+    tracer_ = tracer;
+    walker_->setTracer(tracer);
+}
+
+namespace
+{
+
+/** Flag byte of the TLB hit/miss events. */
+std::uint8_t
+hitFlags(AccessType type, const tlb::TlbLookup &lookup)
+{
+    std::uint8_t flags = 0;
+    if (isIfetch(type))
+        flags |= trace::flagInstr;
+    if (type == AccessType::Write)
+        flags |= trace::flagWrite;
+    if (lookup.shared_hit)
+        flags |= trace::flagSharedHit;
+    if (lookup.entry) {
+        if (lookup.entry->owned)
+            flags |= trace::flagOwned;
+        if (lookup.entry->orpc)
+            flags |= trace::flagOrpc;
+    }
+    return flags;
+}
+
+} // namespace
 
 tlb::TlbLookup
 Mmu::lookupL1(vm::Process &proc, Addr va, AccessType type,
@@ -181,10 +214,21 @@ Mmu::translate(vm::Process &proc, Addr canonical_va, AccessType type,
                     result.blocked = true;
                     return result;
                 }
+                if (tracer_)
+                    tracer_->setKernelContext(core_id_,
+                                              now + result.cycles);
                 const auto outcome =
                     kernel_.handleFault(proc, canonical_va, type);
                 bf_assert(outcome.kind != vm::FaultKind::Protection,
                           "protection fault at ", canonical_va);
+                if (tracer_) {
+                    tracer_->record(
+                        core_id_, trace::EventType::FaultService,
+                        now + result.cycles, proc.ccid(), proc.pid(),
+                        canonical_va, outcome.cycles,
+                        static_cast<std::uint8_t>(outcome.kind));
+                    tracer_->clearKernelContext();
+                }
                 if (outcome.kind == vm::FaultKind::None) {
                     // Already resolved; only this core's copy is stale.
                     applyInvalidate({vm::TlbInvalidate::Kind::Page,
@@ -199,6 +243,11 @@ Mmu::translate(vm::Process &proc, Addr canonical_va, AccessType type,
                 continue; // retry; the stale entries were shot down
             }
             ++l1_hits;
+            if (tracer_)
+                tracer_->record(core_id_, trace::EventType::TlbL1Hit,
+                                now + result.cycles, proc.ccid(),
+                                proc.pid(), canonical_va, 0,
+                                hitFlags(type, l1));
             result.size = entry.size;
             result.paddr = (entry.ppn << pageShift(entry.size)) |
                            (canonical_va & (pageBytes(entry.size) - 1));
@@ -234,6 +283,11 @@ Mmu::translate(vm::Process &proc, Addr canonical_va, AccessType type,
                 if (l2.shared_hit)
                     ++l2_data_shared_hits;
             }
+            if (tracer_)
+                tracer_->record(core_id_, trace::EventType::TlbL2Hit,
+                                now + result.cycles, proc.ccid(),
+                                proc.pid(), canonical_va, 0,
+                                hitFlags(type, l2));
             if (is_write && entry.cow) {
                 const PageSize esize = entry.size;
                 if (epoch_log_ && epoch_log_->active()) {
@@ -243,10 +297,21 @@ Mmu::translate(vm::Process &proc, Addr canonical_va, AccessType type,
                     result.blocked = true;
                     return result;
                 }
+                if (tracer_)
+                    tracer_->setKernelContext(core_id_,
+                                              now + result.cycles);
                 const auto outcome =
                     kernel_.handleFault(proc, canonical_va, type);
                 bf_assert(outcome.kind != vm::FaultKind::Protection,
                           "protection fault at ", canonical_va);
+                if (tracer_) {
+                    tracer_->record(
+                        core_id_, trace::EventType::FaultService,
+                        now + result.cycles, proc.ccid(), proc.pid(),
+                        canonical_va, outcome.cycles,
+                        static_cast<std::uint8_t>(outcome.kind));
+                    tracer_->clearKernelContext();
+                }
                 if (outcome.kind == vm::FaultKind::None) {
                     applyInvalidate({vm::TlbInvalidate::Kind::Page,
                                      proc.ccid(), proc.pcid(),
@@ -269,6 +334,11 @@ Mmu::translate(vm::Process &proc, Addr canonical_va, AccessType type,
             ++l2_instr_misses;
         else
             ++l2_data_misses;
+        if (tracer_)
+            tracer_->record(core_id_, trace::EventType::TlbMiss,
+                            now + result.cycles, proc.ccid(), proc.pid(),
+                            canonical_va, 0,
+                            hitFlags(type, tlb::TlbLookup{}));
 
         // ---- Page walk.
         tlb::WalkResult walk =
@@ -276,6 +346,7 @@ Mmu::translate(vm::Process &proc, Addr canonical_va, AccessType type,
         result.cycles += walk.cycles;
 
         if (walk.status == tlb::WalkStatus::Ok) {
+            miss_latency.sample(result.cycles);
             fillL2(walk.fill, proc);
             fillL1(walk.fill, proc, type);
             result.size = walk.fill.size;
@@ -297,10 +368,19 @@ Mmu::translate(vm::Process &proc, Addr canonical_va, AccessType type,
             result.blocked = true;
             return result;
         }
+        if (tracer_)
+            tracer_->setKernelContext(core_id_, now + result.cycles);
         const auto outcome = kernel_.handleFault(proc, canonical_va, type);
         bf_assert(outcome.kind != vm::FaultKind::Protection,
                   "kernel protection fault at va=", canonical_va,
                   " pid=", proc.pid());
+        if (tracer_) {
+            tracer_->record(core_id_, trace::EventType::FaultService,
+                            now + result.cycles, proc.ccid(), proc.pid(),
+                            canonical_va, outcome.cycles,
+                            static_cast<std::uint8_t>(outcome.kind));
+            tracer_->clearKernelContext();
+        }
         result.cycles += outcome.cycles;
         fault_cycles += outcome.cycles;
         result.faulted = true;
@@ -409,6 +489,7 @@ Mmu::resetStats()
     cow_faults.reset();
     shared_installs.reset();
     fault_cycles.reset();
+    miss_latency.reset();
     l1i_4k_->resetStats();
     for (auto &tlb : l1d_)
         tlb->resetStats();

@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "common/stats.hh"
+#include "common/trace/trace.hh"
 #include "common/types.hh"
 #include "core/epoch.hh"
 #include "core/params.hh"
@@ -73,6 +74,13 @@ class Mmu
     void setEpochLog(EpochLog *log) { epoch_log_ = log; }
 
     /**
+     * Attach the run's event tracer (System wires it; null detaches).
+     * Also forwards to the page walker. Tracing never changes stats or
+     * timing, only what gets recorded.
+     */
+    void setTracer(trace::Tracer *tracer);
+
+    /**
      * Book the stats of a serviced deferred fault, mirroring what the
      * serial retry loop would have counted at the fault site.
      */
@@ -105,6 +113,8 @@ class Mmu
     stats::Scalar cow_faults;
     stats::Scalar shared_installs;
     stats::Scalar fault_cycles;
+    /** Full translate() latency of accesses that missed both TLB levels. */
+    stats::Distribution miss_latency;
     /** @} */
 
     void resetStats();
@@ -136,6 +146,7 @@ class Mmu
     std::unique_ptr<tlb::Pwc> pwc_;
     std::unique_ptr<tlb::PageWalker> walker_;
     EpochLog *epoch_log_ = nullptr;
+    trace::Tracer *tracer_ = nullptr;
 
     /**
      * One-entry cache of Kernel::processBit for the last {process,

@@ -6,6 +6,8 @@
 #ifndef BF_CORE_PARAMS_HH
 #define BF_CORE_PARAMS_HH
 
+#include <string>
+
 #include "common/types.hh"
 #include "mem/hierarchy.hh"
 #include "tlb/page_walk_cache.hh"
@@ -88,6 +90,21 @@ struct SystemParams
      * two-phase algorithm inline. Benches override via BF_WORKERS.
      */
     unsigned workers = 1;
+
+    /**
+     * @{
+     * @name Event tracing (DESIGN.md §12)
+     * When trace_path is non-empty the System records translation-
+     * pipeline events into that file (benches wire BF_TRACE).
+     * trace_events is the EventType bit mask (BF_TRACE_EVENTS) and
+     * trace_limit caps the records written (BF_TRACE_LIMIT, 0 =
+     * unlimited). Tracing never changes stats or timing, so it is
+     * deliberately absent from the checkpoint manifest.
+     */
+    std::string trace_path;
+    std::uint32_t trace_events = 0xffffffffu;
+    std::uint64_t trace_limit = 0;
+    /** @} */
 
     /** A fully wired Baseline configuration (no BabelFish anywhere). */
     static SystemParams

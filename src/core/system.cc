@@ -41,6 +41,19 @@ System::System(const SystemParams &params)
             core->mmu().applyInvalidate(inv);
     });
 
+    if (!params_.trace_path.empty()) {
+        tracer_ = std::make_unique<trace::Tracer>(
+            params_.trace_path, params_.num_cores, params_.trace_events,
+            params_.trace_limit);
+        if (tracer_->ok()) {
+            kernel_->setTracer(tracer_.get());
+            for (auto &core : cores_)
+                core->mmu().setTracer(tracer_.get());
+        } else {
+            tracer_.reset();
+        }
+    }
+
     stat_group_.addStat("run_capped", &run_capped);
 }
 
@@ -81,10 +94,20 @@ System::runChunk(Cycles barrier)
             const vm::DeferredFault fault = log.fault();
             log.clearFault();
 
+            if (tracer_)
+                tracer_->setKernelContext(pf.core, pf.ts);
             const auto outcome = kernel_->serviceFault(fault);
             bf_assert(outcome.kind != vm::FaultKind::Protection,
                       "protection fault at va=", fault.canonical_va,
                       " pid=", fault.proc->pid());
+            if (tracer_) {
+                tracer_->record(pf.core, trace::EventType::FaultService,
+                                pf.ts, fault.proc->ccid(),
+                                fault.proc->pid(), fault.canonical_va,
+                                outcome.cycles,
+                                static_cast<std::uint8_t>(outcome.kind));
+                tracer_->clearKernelContext();
+            }
 
             Mmu &mmu = cores_[pf.core]->mmu();
             if (fault.declared_cow &&
@@ -112,6 +135,10 @@ System::runChunk(Cycles barrier)
     for (auto &log : epoch_logs_)
         log->deactivate();
     weave();
+    // Flush after the weave so every chunk appends exactly one
+    // canonically ordered block (see common/trace/trace.hh).
+    if (tracer_)
+        tracer_->flushBarrier();
 }
 
 void

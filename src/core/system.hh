@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "common/trace/trace.hh"
 #include "core/core.hh"
 #include "core/epoch.hh"
 #include "core/params.hh"
@@ -96,6 +97,13 @@ class System
     const StatSampler &sampler() const { return sampler_; }
 
     /**
+     * The event tracer, or nullptr when params.trace_path is empty (or
+     * the file could not be opened). Owned by the System; the file is
+     * finalized when the System is destroyed.
+     */
+    trace::Tracer *tracer() { return tracer_.get(); }
+
+    /**
      * @{
      * @name Checkpointing (DESIGN.md §11)
      * saveCheckpoint() serializes the whole machine — kernel, cache
@@ -145,6 +153,7 @@ class System
     std::unique_ptr<mem::CacheHierarchy> hierarchy_;
     std::vector<std::unique_ptr<Core>> cores_;
     StatSampler sampler_;
+    std::unique_ptr<trace::Tracer> tracer_;
 
     /** @{ @name Two-phase chunk execution (see core/epoch.hh) */
     std::vector<std::unique_ptr<EpochLog>> epoch_logs_; //!< Per core.

@@ -20,6 +20,7 @@ PageWalker::PageWalker(unsigned core_id, mem::CacheHierarchy &hierarchy,
     stat_group_.addStat("mem_steps", &mem_steps);
     stat_group_.addStat("pwc_steps", &pwc_steps);
     stat_group_.addStat("mask_fetches", &mask_fetches);
+    stat_group_.addStat("walk_latency", &walk_latency);
 }
 
 WalkResult
@@ -31,6 +32,23 @@ PageWalker::walk(vm::Process &proc, Addr canonical_va, AccessType type,
     ++walks;
     WalkResult result;
     const bool is_write = type == AccessType::Write;
+
+    if (tracer_)
+        tracer_->record(core_id_, trace::EventType::WalkStart, now,
+                        proc.ccid(), proc.pid(), canonical_va);
+
+    // Every exit books the same latency stats (sampled whether or not
+    // tracing is on) and stamps the WalkEnd event at the completion time.
+    auto finish = [&]() -> WalkResult & {
+        walk_cycles += result.cycles;
+        walk_latency.sample(result.cycles);
+        if (tracer_)
+            tracer_->record(core_id_, trace::EventType::WalkEnd,
+                            now + result.cycles, proc.ccid(), proc.pid(),
+                            canonical_va, result.cycles,
+                            static_cast<std::uint8_t>(result.status));
+        return result;
+    };
 
     PageTablePage *table = proc.pgd();
     bool upper_owned = false;
@@ -50,6 +68,11 @@ PageWalker::walk(vm::Process &proc, Addr canonical_va, AccessType type,
         if (level >= LevelPmd && pwc_.lookup(level, entry_paddr)) {
             result.cycles += pwc_.accessCycles();
             ++pwc_steps;
+            if (tracer_)
+                tracer_->record(core_id_, trace::EventType::PwcHit,
+                                now + result.cycles, proc.ccid(),
+                                proc.pid(), canonical_va,
+                                static_cast<std::uint64_t>(level));
         } else {
             const auto mem = hierarchy_.access(core_id_, entry_paddr,
                                                AccessType::Read,
@@ -58,14 +81,19 @@ PageWalker::walk(vm::Process &proc, Addr canonical_va, AccessType type,
             result.cycles += mem.latency;
             leaf_fetch_cycles = mem.latency;
             ++mem_steps;
+            if (tracer_)
+                tracer_->record(core_id_, trace::EventType::WalkStep,
+                                now + result.cycles, proc.ccid(),
+                                proc.pid(), canonical_va,
+                                static_cast<std::uint64_t>(level),
+                                static_cast<std::uint8_t>(mem.served_by));
             if (level >= LevelPmd)
                 pwc_.fill(level, entry_paddr);
         }
 
         if (!entry.present()) {
             result.status = WalkStatus::NotPresent;
-            walk_cycles += result.cycles;
-            return result;
+            return finish();
         }
 
         const bool is_leaf = level == LevelPte || entry.huge();
@@ -86,13 +114,11 @@ PageWalker::walk(vm::Process &proc, Addr canonical_va, AccessType type,
             } else {
                 result.status = WalkStatus::Protection;
             }
-            walk_cycles += result.cycles;
-            return result;
+            return finish();
         }
         if (type == AccessType::Ifetch && entry.noExec()) {
             result.status = WalkStatus::Protection;
-            walk_cycles += result.cycles;
-            return result;
+            return finish();
         }
 
         // Hardware A/D update (atomic: idempotent under concurrent walks).
@@ -147,8 +173,7 @@ PageWalker::walk(vm::Process &proc, Addr canonical_va, AccessType type,
             }
         }
 
-        walk_cycles += result.cycles;
-        return result;
+        return finish();
     }
 
     bf_panic("page walk fell through all levels");
@@ -162,6 +187,7 @@ PageWalker::resetStats()
     mem_steps.reset();
     pwc_steps.reset();
     mask_fetches.reset();
+    walk_latency.reset();
 }
 
 } // namespace bf::tlb

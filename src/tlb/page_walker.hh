@@ -15,6 +15,7 @@
 #define BF_TLB_PAGE_WALKER_HH
 
 #include "common/stats.hh"
+#include "common/trace/trace.hh"
 #include "common/types.hh"
 #include "mem/hierarchy.hh"
 #include "tlb/page_walk_cache.hh"
@@ -64,12 +65,17 @@ class PageWalker
     WalkResult walk(vm::Process &proc, Addr canonical_va, AccessType type,
                     Cycles now);
 
+    /** Attach the run's event tracer (the MMU wires it; null detaches). */
+    void setTracer(trace::Tracer *tracer) { tracer_ = tracer; }
+
     /** @{ @name Statistics */
     stats::Scalar walks;
     stats::Scalar walk_cycles;
     stats::Scalar mem_steps;      //!< Walk steps served by the hierarchy.
     stats::Scalar pwc_steps;      //!< Walk steps served by the PWC.
     stats::Scalar mask_fetches;   //!< PC bitmask loads from MaskPages.
+    /** Per-walk latency in cycles, across all walk outcomes. */
+    stats::Distribution walk_latency;
     /** @} */
 
     void resetStats();
@@ -81,6 +87,7 @@ class PageWalker
     Pwc &pwc_;
     bool babelfish_;
     stats::StatGroup stat_group_;
+    trace::Tracer *tracer_ = nullptr;
 };
 
 } // namespace bf::tlb

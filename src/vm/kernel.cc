@@ -490,6 +490,9 @@ Kernel::privatizeLeafTable(Process &proc, Addr va,
     }
 
     ++cow_privatizations;
+    if (tracer_)
+        tracer_->recordKernel(trace::EventType::CowPrivatize, proc.ccid(),
+                              proc.pid(), va);
     propagateOrpc(group, va, level);
     return priv;
 }
@@ -513,6 +516,9 @@ Kernel::propagateOrpc(Group &group, Addr va, int leaf_table_level)
 void
 Kernel::revertMaskRegion(Group &group, Addr mask_region_base)
 {
+    if (tracer_)
+        tracer_->recordKernel(trace::EventType::MaskFallback, group.ccid,
+                              0, mask_region_base);
     // Collect the shared tables of this PMD table set.
     std::vector<std::pair<SharedTableKey, SharedTableRecord>> victims;
     for (const auto &[key, rec] : group.shared_tables) {
@@ -1096,6 +1102,11 @@ void
 Kernel::invalidateTlbs(const TlbInvalidate &inv)
 {
     ++shootdowns;
+    if (tracer_)
+        tracer_->recordKernel(trace::EventType::Shootdown, inv.ccid, 0,
+                              inv.vpn << pageShift(inv.size),
+                              inv.num_pages,
+                              static_cast<std::uint8_t>(inv.kind));
     if (tlb_hook_)
         tlb_hook_(inv);
 }

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "common/trace/trace.hh"
 #include "common/types.hh"
 #include "vm/aslr.hh"
 #include "vm/frame_allocator.hh"
@@ -245,6 +246,15 @@ class Kernel
 
     /** Register the TLB shootdown callback (System wires the MMUs in). */
     void setTlbInvalidateHook(TlbInvalidateFn hook) { tlb_hook_ = std::move(hook); }
+
+    /**
+     * Attach the run's event tracer (System wires it; null detaches).
+     * Kernel events record through the tracer's kernel context, which
+     * the fault-service drivers stamp with the faulting core and time;
+     * mutations outside a fault-service window (setup-time forks,
+     * mmap/munmap) record nothing.
+     */
+    void setTracer(trace::Tracer *tracer) { tracer_ = tracer; }
     /** @} */
 
     /** @{ @name Introspection (Fig. 9 pagemap scans, tests) */
@@ -365,6 +375,7 @@ class Kernel
     std::vector<std::unique_ptr<MappedObject>> objects_;
     std::unordered_map<Ppn, std::unique_ptr<PageTablePage>> tables_;
     TlbInvalidateFn tlb_hook_;
+    trace::Tracer *tracer_ = nullptr;
 
     /** Allocate a fresh table page at a level. */
     PageTablePage *allocateTable(int level);

@@ -565,6 +565,33 @@ TEST(SystemSnapshot, AutosavePeriodic)
     EXPECT_EQ(end.series, restored.series);
 }
 
+// Regression: after a restore the sampler's clock grid resumes where it
+// left off — recorded time-series rows continue strictly monotonically
+// in cycle across the boundary, with no duplicated or reset rows.
+TEST(SystemSnapshot, SamplerMonotonicAfterRestore)
+{
+    const std::string path = tmpPath("sampler.ckpt");
+
+    World a = makeWorld(1);
+    a.sys->run(msToCycles(1));
+    ASSERT_TRUE(a.sys->saveCheckpoint(path));
+
+    World b = makeWorld(1);
+    ASSERT_TRUE(b.sys->restoreCheckpoint(path));
+    const std::size_t at_restore = b.sys->sampler().points().size();
+    ASSERT_GT(at_restore, 0u); // the restored series carries history
+    b.sys->run(msToCycles(1));
+
+    const auto &points = b.sys->sampler().points();
+    ASSERT_GT(points.size(), at_restore); // ...and keeps growing
+    for (std::size_t i = 1; i < points.size(); ++i) {
+        EXPECT_LT(points[i - 1].cycle, points[i].cycle)
+            << "row " << i << " does not advance the clock";
+        EXPECT_LE(points[i - 1].phase, points[i].phase)
+            << "row " << i << " resets the phase";
+    }
+}
+
 // Rejected files: corruption and config mismatch return false and leave
 // the system in its cold state, which must still run normally.
 TEST(SystemSnapshot, RejectionFallsBackToColdStart)

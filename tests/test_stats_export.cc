@@ -99,11 +99,13 @@ TEST(StatsJson, SerializesNestedGroupsExactly)
               "\"averages\":{\"occupancy\":{\"mean\":3,\"sum\":6,"
               "\"count\":2}},"
               "\"latencies\":{},"
+              "\"distributions\":{},"
               "\"children\":{\"sub\":{"
               "\"scalars\":{\"misses\":3},"
               "\"averages\":{},"
               "\"latencies\":{\"lat\":{\"mean\":10,\"p50\":10,"
               "\"p95\":10,\"p99\":10,\"count\":1}},"
+              "\"distributions\":{},"
               "\"children\":{}}}}");
 }
 
@@ -121,9 +123,11 @@ TEST(StatsJson, ChildNamedLikeAStatCannotCollide)
 
     EXPECT_EQ(toJsonString(root),
               "{\"scalars\":{\"hits\":0},\"averages\":{},"
-              "\"latencies\":{},\"children\":{\"hits\":{"
+              "\"latencies\":{},\"distributions\":{},"
+              "\"children\":{\"hits\":{"
               "\"scalars\":{\"hits\":1},\"averages\":{},"
-              "\"latencies\":{},\"children\":{}}}}");
+              "\"latencies\":{},\"distributions\":{},"
+              "\"children\":{}}}}");
 }
 
 TEST(StatsJson, ResetBetweenPhasesReflectsInOutput)
