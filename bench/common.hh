@@ -41,6 +41,10 @@
  *                  precedence over the benches' default quieting, so
  *                  `BF_LOG=quiet` also silences warnings and
  *                  `BF_LOG=info` restores inform() output.
+ *
+ * bench_replay_sweep additionally reads (see its file header):
+ *   BF_REPLAY_TRACE=<file>  replay this trace instead of self-recording.
+ *   BF_REPLAY_GRID=n        cap on sweep points (default 64).
  */
 
 #ifndef BF_BENCH_COMMON_HH
@@ -170,6 +174,7 @@ struct RunConfig
         const auto mixTlb = [&mix](const tlb::TlbParams &t) {
             mix(t.entries);
             mix(t.assoc);
+            mix(static_cast<std::uint64_t>(t.policy));
         };
         mixTlb(params.mmu.l1i_4k);
         mixTlb(params.mmu.l1d_4k);

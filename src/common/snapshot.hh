@@ -41,9 +41,10 @@ class SnapshotError : public std::runtime_error
 
 /**
  * Bumped whenever the serialized component layout changes.
- * History: 1 = initial layout; 2 = Distribution stats in the stat tree.
+ * History: 1 = initial layout; 2 = Distribution stats in the stat tree;
+ * 3 = TLB replacement policy + RNG state in the TLB payload.
  */
-inline constexpr std::uint32_t formatVersion = 2;
+inline constexpr std::uint32_t formatVersion = 3;
 
 /** CRC32 (IEEE 802.3, reflected) of a byte range. */
 std::uint32_t crc32(const std::uint8_t *data, std::size_t len);

@@ -93,6 +93,65 @@ getRecord(const std::uint8_t *p)
     return rec;
 }
 
+/** Serialize the v2 header config block (configBytes bytes). */
+void
+putConfig(std::vector<std::uint8_t> &buf, const TraceConfig &cfg)
+{
+    const std::size_t start = buf.size();
+    for (unsigned i = 0; i < traceNumTlbs; ++i) {
+        const TraceTlbConfig &t = cfg.tlb[i];
+        putU32(buf, t.entries);
+        putU16(buf, t.assoc);
+        putU16(buf, t.access_cycles);
+        putU16(buf, t.bitmask_extra_cycles);
+        buf.push_back(t.policy);
+        buf.push_back(0); // pad to 12 bytes per TLB
+    }
+    putU32(buf, cfg.pwc_entries_per_level);
+    putU16(buf, cfg.pwc_assoc);
+    putU16(buf, cfg.pwc_levels);
+    putU16(buf, cfg.pwc_access_cycles);
+    putU16(buf, cfg.aslr_transform_cycles);
+    std::uint8_t flags = 0;
+    flags |= cfg.babelfish ? 1u << 0 : 0;
+    flags |= cfg.l1_sharing ? 1u << 1 : 0;
+    flags |= cfg.force_long_l2 ? 1u << 2 : 0;
+    flags |= cfg.aslr_hw ? 1u << 3 : 0;
+    buf.push_back(flags);
+    buf.push_back(cfg.opc_width);
+    while (buf.size() - start < configBytes)
+        buf.push_back(0);
+    bf_assert(buf.size() - start == configBytes,
+              "trace config block is ", buf.size() - start, " bytes");
+}
+
+TraceConfig
+getConfig(const std::uint8_t *p)
+{
+    TraceConfig cfg;
+    for (unsigned i = 0; i < traceNumTlbs; ++i) {
+        TraceTlbConfig &t = cfg.tlb[i];
+        t.entries = getU32(p);
+        t.assoc = getU16(p + 4);
+        t.access_cycles = getU16(p + 6);
+        t.bitmask_extra_cycles = getU16(p + 8);
+        t.policy = p[10];
+        p += 12;
+    }
+    cfg.pwc_entries_per_level = getU32(p);
+    cfg.pwc_assoc = getU16(p + 4);
+    cfg.pwc_levels = getU16(p + 6);
+    cfg.pwc_access_cycles = getU16(p + 8);
+    cfg.aslr_transform_cycles = getU16(p + 10);
+    const std::uint8_t flags = p[12];
+    cfg.babelfish = flags & (1u << 0);
+    cfg.l1_sharing = flags & (1u << 1);
+    cfg.force_long_l2 = flags & (1u << 2);
+    cfg.aslr_hw = flags & (1u << 3);
+    cfg.opc_width = p[13];
+    return cfg;
+}
+
 /** Canonical merge order; (ts, core, seq) is unique by construction. */
 bool
 recordLess(const Record &a, const Record &b)
@@ -121,12 +180,15 @@ eventTypeName(EventType type)
       case EventType::CowPrivatize: return "cow_privatize";
       case EventType::MaskFallback: return "mask_fallback";
       case EventType::Shootdown: return "shootdown";
+      case EventType::TlbFill: return "tlb_fill";
+      case EventType::StatsReset: return "stats_reset";
     }
     return "?";
 }
 
 Tracer::Tracer(std::string path, unsigned num_cores,
-               std::uint32_t event_mask, std::uint64_t limit)
+               std::uint32_t event_mask, std::uint64_t limit,
+               const TraceConfig &config)
     : path_(std::move(path)), mask_(event_mask & allEvents), limit_(limit),
       bufs_(num_cores), next_seq_(num_cores, 0)
 {
@@ -144,6 +206,7 @@ Tracer::Tracer(std::string path, unsigned num_cores,
     putU64(header, 0); // record count, patched by finish()
     putU64(header, 0); // dropped count, patched by finish()
     putU64(header, 0); // reserved
+    putConfig(header, config);
     bf_assert(header.size() == headerBytes,
               "trace header is ", header.size(), " bytes");
     if (std::fwrite(header.data(), 1, header.size(), file_) !=
@@ -242,9 +305,12 @@ TraceReader::TraceReader(const std::string &path)
     header_.event_mask = getU32(raw + 20);
     header_.record_count = getU64(raw + 24);
     header_.dropped_count = getU64(raw + 32);
+    header_.config = getConfig(raw + 48);
     std::string problem;
     if (header_.version != traceFormatVersion)
-        problem = "unsupported version " + std::to_string(header_.version);
+        problem = "unsupported version " + std::to_string(header_.version) +
+                  " (format v" + std::to_string(traceFormatVersion) +
+                  " required; re-record the trace)";
     else if (header_.record_bytes != recordBytes)
         problem = "record size " + std::to_string(header_.record_bytes);
     else if (header_.num_cores == 0)

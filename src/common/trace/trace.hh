@@ -32,6 +32,8 @@
  *     u64       record count   (patched on finish)
  *     u64       dropped count  (records beyond BF_TRACE_LIMIT)
  *     u64       reserved (0)
+ *     config    112-byte serialized TraceConfig (v2: the recording
+ *               machine's TLB/PWC geometry and mode flags)
  *     blocks    each: u32 block magic, u32 record count, records
  *
  * Records are framed into one block per weave barrier because global
@@ -56,29 +58,52 @@
 namespace bf::trace
 {
 
-/** Typed events of the translation pipeline. */
+/**
+ * Typed events of the translation pipeline.
+ *
+ * Format v2 arg packings (all little-endian bit ranges within the u64
+ * arg; see DESIGN.md §13 for the replay contract that consumes them):
+ *
+ *   TlbL1Hit/TlbL2Hit/TlbMiss  bits 0-15 translating PCID,
+ *                              bits 16-22 O-PC process bit + 1 (0 = no
+ *                              bit assigned).
+ *   PwcHit/WalkStep            bits 0-2 page-table level,
+ *                              bits 3-63 physical address of the page-
+ *                              table entry (8-aligned, low bits zero).
+ *   TlbFill                    bits 0-15 PCID, 16-17 PageSize,
+ *                              18 owned, 19 orpc, 20 cow,
+ *                              bits 32-63 O-PC pc_bitmask.
+ *   FaultService               bits 0-31 kernel cycles, 32-47 PCID,
+ *                              48-49 stale PageSize, 50 declared_cow.
+ *   Shootdown                  bits 0-31 number of pages, 32-47 PCID,
+ *                              48-49 PageSize.
+ */
 enum class EventType : std::uint8_t
 {
     TlbL1Hit = 0,     //!< L1 TLB hit. flags: hit flags below.
     TlbL2Hit = 1,     //!< L2 TLB hit. flags: hit flags below.
     TlbMiss = 2,      //!< Miss in both TLB levels; a walk follows.
-    PwcHit = 3,       //!< Walk step served by the PWC. arg = level.
+    PwcHit = 3,       //!< Walk step served by the PWC. arg = level|paddr.
     WalkStart = 4,    //!< Page walk issued.
-    WalkStep = 5,     //!< Walk step into the hierarchy. arg = level,
-                      //!< flags = serving mem level (provisional L3
-                      //!< for bound-phase deferred steps).
+    WalkStep = 5,     //!< Walk step into the hierarchy. arg =
+                      //!< level|paddr, flags = serving mem level
+                      //!< (provisional L3 for bound-phase deferred
+                      //!< steps).
     WalkEnd = 6,      //!< Walk finished. arg = walk cycles,
                       //!< flags = WalkStatus.
-    FaultService = 7, //!< Kernel fault service. arg = kernel cycles,
+    FaultService = 7, //!< Kernel fault service. arg packed as above,
                       //!< flags = FaultKind.
     CowPrivatize = 8, //!< 512-entry leaf table privatized (O-PC).
     MaskFallback = 9, //!< >32-writer MaskPage revert of a region.
     Shootdown = 10,   //!< TLB invalidation broadcast.
-                      //!< arg = number of pages, flags = kind.
+                      //!< arg packed as above, flags = kind.
+    TlbFill = 11,     //!< L2+L1 TLB fill after a successful walk.
+                      //!< arg = fill attributes packed as above.
+    StatsReset = 12,  //!< System::resetStats marker (warm-up boundary).
 };
 
 /** Number of event types (mask width). */
-inline constexpr unsigned numEventTypes = 11;
+inline constexpr unsigned numEventTypes = 13;
 
 /** Mask with every event enabled (BF_TRACE_EVENTS default). */
 inline constexpr std::uint32_t allEvents = (1u << numEventTypes) - 1;
@@ -92,6 +117,114 @@ inline constexpr std::uint8_t flagWrite = 1 << 1;     //!< Write access.
 inline constexpr std::uint8_t flagSharedHit = 1 << 2; //!< CCID shared hit.
 inline constexpr std::uint8_t flagOwned = 1 << 3;     //!< O bit of entry.
 inline constexpr std::uint8_t flagOrpc = 1 << 4;      //!< ORPC bit.
+inline constexpr std::uint8_t flagCowFault = 1 << 5;  //!< Write hit a CoW
+                                                      //!< entry: fault, no
+                                                      //!< hit counted / no
+                                                      //!< L1 refill.
+inline constexpr std::uint8_t flagLongL2 = 1 << 6;    //!< Long (bitmask-
+                                                      //!< checking) L2
+                                                      //!< access.
+/** @} */
+
+/**
+ * @{
+ * @name v2 arg packing helpers
+ * Encoders live next to the decoders so the record sites (MMU, walker,
+ * kernel) and the replay engine can never drift apart. Bit layouts are
+ * documented on EventType.
+ */
+inline std::uint64_t
+packAttempt(std::uint16_t pcid, int process_bit)
+{
+    return std::uint64_t{pcid} |
+           (static_cast<std::uint64_t>(process_bit + 1) << 16);
+}
+
+inline std::uint16_t
+attemptPcid(std::uint64_t arg)
+{
+    return static_cast<std::uint16_t>(arg);
+}
+
+/** O-PC process bit of the translating process, -1 for none. */
+inline int
+attemptProcessBit(std::uint64_t arg)
+{
+    return static_cast<int>((arg >> 16) & 0x7f) - 1;
+}
+
+inline std::uint64_t
+packWalkStep(unsigned level, std::uint64_t entry_paddr)
+{
+    // Page-table entries are 8-byte aligned, so the level borrows the
+    // address's three zero low bits.
+    return (level & 0x7u) | (entry_paddr & ~std::uint64_t{7});
+}
+
+inline unsigned
+walkStepLevel(std::uint64_t arg)
+{
+    return static_cast<unsigned>(arg & 0x7);
+}
+
+/** Physical address of the page-table entry (8-byte aligned). */
+inline std::uint64_t
+walkStepPaddr(std::uint64_t arg)
+{
+    return arg & ~std::uint64_t{7};
+}
+
+inline std::uint64_t
+packFill(std::uint16_t pcid, unsigned size, bool owned, bool orpc,
+         bool cow, std::uint32_t pc_bitmask)
+{
+    return std::uint64_t{pcid} | (std::uint64_t{size & 0x3u} << 16) |
+           (std::uint64_t{owned} << 18) | (std::uint64_t{orpc} << 19) |
+           (std::uint64_t{cow} << 20) |
+           (std::uint64_t{pc_bitmask} << 32);
+}
+
+inline std::uint16_t fillPcid(std::uint64_t arg)
+{ return static_cast<std::uint16_t>(arg); }
+inline unsigned fillSize(std::uint64_t arg)
+{ return static_cast<unsigned>((arg >> 16) & 0x3); }
+inline bool fillOwned(std::uint64_t arg) { return (arg >> 18) & 1; }
+inline bool fillOrpc(std::uint64_t arg) { return (arg >> 19) & 1; }
+inline bool fillCow(std::uint64_t arg) { return (arg >> 20) & 1; }
+inline std::uint32_t fillBitmask(std::uint64_t arg)
+{ return static_cast<std::uint32_t>(arg >> 32); }
+
+inline std::uint64_t
+packFault(std::uint64_t cycles, std::uint16_t pcid, unsigned stale_size,
+          bool declared_cow)
+{
+    return (cycles & 0xffffffffull) | (std::uint64_t{pcid} << 32) |
+           (std::uint64_t{stale_size & 0x3u} << 48) |
+           (std::uint64_t{declared_cow} << 50);
+}
+
+inline std::uint64_t faultCycles(std::uint64_t arg)
+{ return arg & 0xffffffffull; }
+inline std::uint16_t faultPcid(std::uint64_t arg)
+{ return static_cast<std::uint16_t>(arg >> 32); }
+inline unsigned faultStaleSize(std::uint64_t arg)
+{ return static_cast<unsigned>((arg >> 48) & 0x3); }
+inline bool faultDeclaredCow(std::uint64_t arg)
+{ return (arg >> 50) & 1; }
+
+inline std::uint64_t
+packShootdown(std::uint64_t num_pages, std::uint16_t pcid, unsigned size)
+{
+    return (num_pages & 0xffffffffull) | (std::uint64_t{pcid} << 32) |
+           (std::uint64_t{size & 0x3u} << 48);
+}
+
+inline std::uint64_t shootdownPages(std::uint64_t arg)
+{ return arg & 0xffffffffull; }
+inline std::uint16_t shootdownPcid(std::uint64_t arg)
+{ return static_cast<std::uint16_t>(arg >> 32); }
+inline unsigned shootdownSize(std::uint64_t arg)
+{ return static_cast<unsigned>((arg >> 48) & 0x3); }
 /** @} */
 
 /**
@@ -115,11 +248,66 @@ struct Record
 /** On-disk record size in bytes. */
 inline constexpr std::uint32_t recordBytes = 40;
 
-/** On-disk header size in bytes. */
-inline constexpr std::uint32_t headerBytes = 48;
+/**
+ * Geometry of one TLB structure as captured in the trace header. The
+ * replay engine (src/replay) instantiates functional models from these,
+ * so a trace is self-describing: replay at the recording config needs
+ * no side-channel knowledge of the simulated machine.
+ */
+struct TraceTlbConfig
+{
+    std::uint32_t entries = 0;
+    std::uint16_t assoc = 0;            //!< 0 = fully associative.
+    std::uint16_t access_cycles = 1;
+    std::uint16_t bitmask_extra_cycles = 0;
+    std::uint8_t policy = 0;            //!< tlb::TlbParams::Policy.
+};
 
-/** Trace format version. */
-inline constexpr std::uint32_t traceFormatVersion = 1;
+/** Indices into TraceConfig::tlb, in MmuParams declaration order. */
+enum TraceTlbIdx : unsigned
+{
+    TraceL1i4k = 0,
+    TraceL1d4k = 1,
+    TraceL1d2m = 2,
+    TraceL1d1g = 3,
+    TraceL24k = 4,
+    TraceL22m = 5,
+    TraceL21g = 6,
+    traceNumTlbs = 7,
+};
+
+/**
+ * Recording-time machine configuration embedded in the v2 header
+ * (the 112-byte block after the 48 base header bytes).
+ */
+struct TraceConfig
+{
+    TraceTlbConfig tlb[traceNumTlbs];
+    std::uint32_t pwc_entries_per_level = 0; //!< 0 = PWC disabled.
+    std::uint16_t pwc_assoc = 0;
+    std::uint16_t pwc_levels = 0;
+    std::uint16_t pwc_access_cycles = 0;
+    std::uint16_t aslr_transform_cycles = 0;
+    bool babelfish = false;     //!< CCID-tagged L2 lookups.
+    bool l1_sharing = false;    //!< CCID-tagged L1 lookups.
+    bool force_long_l2 = false; //!< Every BabelFish L2 access is long.
+    bool aslr_hw = false;       //!< HW ASLR transform on the L1-miss path.
+    std::uint8_t opc_width = 0; //!< O-PC bitmask width (max_cow_writers).
+};
+
+/** On-disk size of the serialized TraceConfig block. */
+inline constexpr std::uint32_t configBytes = 112;
+
+/** On-disk header size in bytes (base fields + config block). */
+inline constexpr std::uint32_t headerBytes = 48 + configBytes;
+
+/**
+ * Trace format version. v2 added the header config block, the TlbFill /
+ * StatsReset events and the arg packings documented on EventType; the
+ * reader is intentionally strict (no v1 compatibility) — a version bump
+ * means old trace files must be re-recorded, never reinterpreted.
+ */
+inline constexpr std::uint32_t traceFormatVersion = 2;
 
 /** Block frame marker ("BLK1"). */
 inline constexpr std::uint32_t blockMagic = 0x314b4c42;
@@ -138,9 +326,12 @@ class Tracer
      *        Applied in canonical merge order at flush time, so the
      *        truncation point is deterministic too. Excess records are
      *        counted in the header's dropped field.
+     * @param config recording-time machine configuration, embedded in
+     *        the header so the trace is self-describing for replay.
      */
     Tracer(std::string path, unsigned num_cores,
-           std::uint32_t event_mask = allEvents, std::uint64_t limit = 0);
+           std::uint32_t event_mask = allEvents, std::uint64_t limit = 0,
+           const TraceConfig &config = {});
     ~Tracer();
 
     Tracer(const Tracer &) = delete;
@@ -264,6 +455,7 @@ struct TraceHeader
     std::uint32_t event_mask = 0;
     std::uint64_t record_count = 0;
     std::uint64_t dropped_count = 0;
+    TraceConfig config;
 };
 
 /**

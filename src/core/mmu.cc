@@ -205,8 +205,19 @@ Mmu::translate(vm::Process &proc, Addr canonical_va, AccessType type,
             const tlb::TlbEntry &entry = *l1.entry;
             if (is_write && entry.cow) {
                 // Write to a CoW page: declared as a CoW page fault
-                // (Fig. 8, step 6).
+                // (Fig. 8, step 6). No hit is counted and no L1 state
+                // beyond the probe changes; the flagCowFault event lets
+                // replay tell this apart from a counted hit.
                 const PageSize esize = entry.size;
+                if (tracer_) {
+                    tracer_->record(
+                        core_id_, trace::EventType::TlbL1Hit,
+                        now + result.cycles, proc.ccid(), proc.pid(),
+                        canonical_va,
+                        trace::packAttempt(proc.pcid(), process_bit),
+                        static_cast<std::uint8_t>(hitFlags(type, l1) |
+                                                  trace::flagCowFault));
+                }
                 if (epoch_log_ && epoch_log_->active()) {
                     epoch_log_->deferFault(
                         {&proc, canonical_va, type, true, esize},
@@ -225,7 +236,10 @@ Mmu::translate(vm::Process &proc, Addr canonical_va, AccessType type,
                     tracer_->record(
                         core_id_, trace::EventType::FaultService,
                         now + result.cycles, proc.ccid(), proc.pid(),
-                        canonical_va, outcome.cycles,
+                        canonical_va,
+                        trace::packFault(outcome.cycles, proc.pcid(),
+                                         static_cast<unsigned>(esize),
+                                         true),
                         static_cast<std::uint8_t>(outcome.kind));
                     tracer_->clearKernelContext();
                 }
@@ -246,7 +260,9 @@ Mmu::translate(vm::Process &proc, Addr canonical_va, AccessType type,
             if (tracer_)
                 tracer_->record(core_id_, trace::EventType::TlbL1Hit,
                                 now + result.cycles, proc.ccid(),
-                                proc.pid(), canonical_va, 0,
+                                proc.pid(), canonical_va,
+                                trace::packAttempt(proc.pcid(),
+                                                   process_bit),
                                 hitFlags(type, l1));
             result.size = entry.size;
             result.paddr = (entry.ppn << pageShift(entry.size)) |
@@ -283,11 +299,19 @@ Mmu::translate(vm::Process &proc, Addr canonical_va, AccessType type,
                 if (l2.shared_hit)
                     ++l2_data_shared_hits;
             }
-            if (tracer_)
+            if (tracer_) {
+                std::uint8_t flags = hitFlags(type, l2);
+                if (long_access)
+                    flags |= trace::flagLongL2;
+                if (is_write && entry.cow)
+                    flags |= trace::flagCowFault;
                 tracer_->record(core_id_, trace::EventType::TlbL2Hit,
                                 now + result.cycles, proc.ccid(),
-                                proc.pid(), canonical_va, 0,
-                                hitFlags(type, l2));
+                                proc.pid(), canonical_va,
+                                trace::packAttempt(proc.pcid(),
+                                                   process_bit),
+                                flags);
+            }
             if (is_write && entry.cow) {
                 const PageSize esize = entry.size;
                 if (epoch_log_ && epoch_log_->active()) {
@@ -308,7 +332,10 @@ Mmu::translate(vm::Process &proc, Addr canonical_va, AccessType type,
                     tracer_->record(
                         core_id_, trace::EventType::FaultService,
                         now + result.cycles, proc.ccid(), proc.pid(),
-                        canonical_va, outcome.cycles,
+                        canonical_va,
+                        trace::packFault(outcome.cycles, proc.pcid(),
+                                         static_cast<unsigned>(esize),
+                                         true),
                         static_cast<std::uint8_t>(outcome.kind));
                     tracer_->clearKernelContext();
                 }
@@ -334,11 +361,16 @@ Mmu::translate(vm::Process &proc, Addr canonical_va, AccessType type,
             ++l2_instr_misses;
         else
             ++l2_data_misses;
-        if (tracer_)
+        if (tracer_) {
+            std::uint8_t flags = hitFlags(type, tlb::TlbLookup{});
+            if (long_access)
+                flags |= trace::flagLongL2;
             tracer_->record(core_id_, trace::EventType::TlbMiss,
                             now + result.cycles, proc.ccid(), proc.pid(),
-                            canonical_va, 0,
-                            hitFlags(type, tlb::TlbLookup{}));
+                            canonical_va,
+                            trace::packAttempt(proc.pcid(), process_bit),
+                            flags);
+        }
 
         // ---- Page walk.
         tlb::WalkResult walk =
@@ -347,6 +379,25 @@ Mmu::translate(vm::Process &proc, Addr canonical_va, AccessType type,
 
         if (walk.status == tlb::WalkStatus::Ok) {
             miss_latency.sample(result.cycles);
+            if (tracer_) {
+                // Recorded before the fills so replay sees the walked
+                // entry's attributes exactly as they go into the TLBs.
+                std::uint8_t flags = 0;
+                if (isIfetch(type))
+                    flags |= trace::flagInstr;
+                if (is_write)
+                    flags |= trace::flagWrite;
+                tracer_->record(
+                    core_id_, trace::EventType::TlbFill,
+                    now + result.cycles, proc.ccid(), proc.pid(),
+                    canonical_va,
+                    trace::packFill(
+                        proc.pcid(),
+                        static_cast<unsigned>(walk.fill.size),
+                        walk.fill.owned, walk.fill.orpc, walk.fill.cow,
+                        walk.fill.pc_bitmask),
+                    flags);
+            }
             fillL2(walk.fill, proc);
             fillL1(walk.fill, proc, type);
             result.size = walk.fill.size;
@@ -375,10 +426,14 @@ Mmu::translate(vm::Process &proc, Addr canonical_va, AccessType type,
                   "kernel protection fault at va=", canonical_va,
                   " pid=", proc.pid());
         if (tracer_) {
-            tracer_->record(core_id_, trace::EventType::FaultService,
-                            now + result.cycles, proc.ccid(), proc.pid(),
-                            canonical_va, outcome.cycles,
-                            static_cast<std::uint8_t>(outcome.kind));
+            tracer_->record(
+                core_id_, trace::EventType::FaultService,
+                now + result.cycles, proc.ccid(), proc.pid(),
+                canonical_va,
+                trace::packFault(
+                    outcome.cycles, proc.pcid(),
+                    static_cast<unsigned>(PageSize::Size4K), false),
+                static_cast<std::uint8_t>(outcome.kind));
             tracer_->clearKernelContext();
         }
         result.cycles += outcome.cycles;

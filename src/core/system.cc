@@ -9,6 +9,50 @@
 namespace bf::core
 {
 
+namespace
+{
+
+/**
+ * Capture the translation-relevant machine configuration into the trace
+ * header so the file is self-describing for replay (DESIGN.md §13).
+ */
+trace::TraceConfig
+traceConfig(const SystemParams &params)
+{
+    trace::TraceConfig cfg;
+    const MmuParams &mp = params.mmu;
+    const tlb::TlbParams *tlbs[trace::traceNumTlbs] = {
+        &mp.l1i_4k, &mp.l1d_4k, &mp.l1d_2m, &mp.l1d_1g,
+        &mp.l2_4k, &mp.l2_2m, &mp.l2_1g,
+    };
+    for (unsigned i = 0; i < trace::traceNumTlbs; ++i) {
+        const tlb::TlbParams &tp = *tlbs[i];
+        trace::TraceTlbConfig &out = cfg.tlb[i];
+        out.entries = tp.entries;
+        out.assoc = static_cast<std::uint16_t>(tp.assoc);
+        out.access_cycles = static_cast<std::uint16_t>(tp.access_cycles);
+        out.bitmask_extra_cycles =
+            static_cast<std::uint16_t>(tp.bitmask_extra_cycles);
+        out.policy = static_cast<std::uint8_t>(tp.policy);
+    }
+    cfg.pwc_entries_per_level = mp.pwc.entries_per_level;
+    cfg.pwc_assoc = static_cast<std::uint16_t>(mp.pwc.assoc);
+    cfg.pwc_levels = static_cast<std::uint16_t>(mp.pwc.levels);
+    cfg.pwc_access_cycles =
+        static_cast<std::uint16_t>(mp.pwc.access_cycles);
+    cfg.aslr_transform_cycles =
+        static_cast<std::uint16_t>(mp.aslr_transform_cycles);
+    cfg.babelfish = mp.babelfish;
+    cfg.l1_sharing = mp.l1Sharing();
+    cfg.force_long_l2 = mp.force_long_l2 && mp.babelfish;
+    cfg.aslr_hw = mp.aslr == vm::AslrMode::Hw;
+    cfg.opc_width =
+        static_cast<std::uint8_t>(params.kernel.max_cow_writers);
+    return cfg;
+}
+
+} // namespace
+
 System::System(const SystemParams &params)
     : params_(params), stat_group_("system")
 {
@@ -44,7 +88,7 @@ System::System(const SystemParams &params)
     if (!params_.trace_path.empty()) {
         tracer_ = std::make_unique<trace::Tracer>(
             params_.trace_path, params_.num_cores, params_.trace_events,
-            params_.trace_limit);
+            params_.trace_limit, traceConfig(params_));
         if (tracer_->ok()) {
             kernel_->setTracer(tracer_.get());
             for (auto &core : cores_)
@@ -101,11 +145,15 @@ System::runChunk(Cycles barrier)
                       "protection fault at va=", fault.canonical_va,
                       " pid=", fault.proc->pid());
             if (tracer_) {
-                tracer_->record(pf.core, trace::EventType::FaultService,
-                                pf.ts, fault.proc->ccid(),
-                                fault.proc->pid(), fault.canonical_va,
-                                outcome.cycles,
-                                static_cast<std::uint8_t>(outcome.kind));
+                tracer_->record(
+                    pf.core, trace::EventType::FaultService, pf.ts,
+                    fault.proc->ccid(), fault.proc->pid(),
+                    fault.canonical_va,
+                    trace::packFault(
+                        outcome.cycles, fault.proc->pcid(),
+                        static_cast<unsigned>(fault.stale_size),
+                        fault.declared_cow),
+                    static_cast<std::uint8_t>(outcome.kind));
                 tracer_->clearKernelContext();
             }
 
@@ -507,6 +555,18 @@ System::maybeAutosave(Cycles barrier)
 void
 System::resetStats()
 {
+    // Mark the warm-up/measure boundary in the trace: replay resets its
+    // model statistics at the same point, so its counters line up with
+    // the measurement window of the recorded stats. resetStats is only
+    // called between run() calls, i.e. at a flushed block boundary, so
+    // the marker always leads the following block.
+    // Stamped at core 0's own clock: core 0's next events carry both a
+    // later timestamp and a later seq, which keeps the canonical per-core
+    // ordering invariants intact (a cross-core max could sort after
+    // core 0's next-chunk events while holding an earlier seq).
+    if (tracer_)
+        tracer_->record(0, trace::EventType::StatsReset,
+                        cores_.empty() ? 0 : cores_[0]->now(), 0, 0, 0);
     for (auto &core : cores_)
         core->resetStats();
     hierarchy_->resetStats();

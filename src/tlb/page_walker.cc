@@ -72,7 +72,7 @@ PageWalker::walk(vm::Process &proc, Addr canonical_va, AccessType type,
                 tracer_->record(core_id_, trace::EventType::PwcHit,
                                 now + result.cycles, proc.ccid(),
                                 proc.pid(), canonical_va,
-                                static_cast<std::uint64_t>(level));
+                                trace::packWalkStep(level, entry_paddr));
         } else {
             const auto mem = hierarchy_.access(core_id_, entry_paddr,
                                                AccessType::Read,
@@ -85,7 +85,7 @@ PageWalker::walk(vm::Process &proc, Addr canonical_va, AccessType type,
                 tracer_->record(core_id_, trace::EventType::WalkStep,
                                 now + result.cycles, proc.ccid(),
                                 proc.pid(), canonical_va,
-                                static_cast<std::uint64_t>(level),
+                                trace::packWalkStep(level, entry_paddr),
                                 static_cast<std::uint8_t>(mem.served_by));
             if (level >= LevelPmd)
                 pwc_.fill(level, entry_paddr);

@@ -6,9 +6,45 @@
 namespace bf::tlb
 {
 
+const char *
+policyName(TlbParams::Policy policy)
+{
+    switch (policy) {
+      case TlbParams::Policy::Lru: return "lru";
+      case TlbParams::Policy::Fifo: return "fifo";
+      case TlbParams::Policy::Random: return "random";
+    }
+    return "?";
+}
+
+std::uint64_t
+Tlb::policySeed() const
+{
+    // FNV-1a over the structure name: per-structure distinct, but
+    // identical across runs and hosts.
+    std::uint64_t h = 1469598103934665603ull;
+    for (char c : params_.name) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 1099511628211ull;
+    }
+    return h | 1; // xorshift64 must not start at 0
+}
+
+std::uint64_t
+Tlb::nextRand()
+{
+    std::uint64_t x = rng_state_;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    rng_state_ = x;
+    return x;
+}
+
 Tlb::Tlb(const TlbParams &params, stats::StatGroup *parent)
     : params_(params), stat_group_(params.name, parent)
 {
+    rng_state_ = policySeed();
     if (params_.assoc == 0 || params_.assoc >= params_.entries)
         params_.assoc = params_.entries; // fully associative
     bf_assert(params_.entries % params_.assoc == 0,
@@ -31,10 +67,14 @@ Tlb::lookupConventional(Vpn vpn, Pcid pcid)
 {
     TlbLookup result;
     TlbEntry *base = setBase(vpn);
-    for (unsigned way = 0; way < params_.assoc; ++way) {
+    const unsigned assoc = params_.assoc;
+    for (unsigned way = 0; way < assoc; ++way) {
         TlbEntry &entry = base[way];
-        if (entry.valid && entry.vpn == vpn && entry.pcid == pcid) {
-            entry.lru = ++lru_clock_;
+        // VPN first: it is the most discriminating tag, so the common
+        // mismatching way costs one compare.
+        if (entry.vpn == vpn && entry.pcid == pcid && entry.valid) {
+            if (params_.policy == TlbParams::Policy::Lru)
+                entry.lru = ++lru_clock_;
             result.entry = &entry;
             result.shared_hit = entry.fill_pcid != pcid;
             ++hits;
@@ -54,9 +94,10 @@ Tlb::lookupBabelFish(Vpn vpn, Ccid ccid, Pcid pcid, int process_bit)
     TlbEntry *base = setBase(vpn);
     TlbEntry *match = nullptr;
 
-    for (unsigned way = 0; way < params_.assoc; ++way) {
+    const unsigned assoc = params_.assoc;
+    for (unsigned way = 0; way < assoc; ++way) {
         TlbEntry &entry = base[way];
-        if (!entry.valid || entry.vpn != vpn || entry.ccid != ccid)
+        if (entry.vpn != vpn || entry.ccid != ccid || !entry.valid)
             continue;                                   // step 1 of Fig. 8
         if (entry.owned) {
             if (entry.pcid == pcid) {                   // step 9
@@ -85,7 +126,8 @@ Tlb::lookupBabelFish(Vpn vpn, Ccid ccid, Pcid pcid, int process_bit)
         ++bitmask_checks;
 
     if (match) {
-        match->lru = ++lru_clock_;
+        if (params_.policy == TlbParams::Policy::Lru)
+            match->lru = ++lru_clock_;
         result.entry = match;
         result.shared_hit = match->fill_pcid != pcid;
         ++hits;
@@ -107,11 +149,12 @@ Tlb::fill(const TlbEntry &new_entry, bool shared_dedup)
     // Replace an existing entry with the same tags if present (never
     // duplicate a translation), else an invalid way, else LRU.
     const bool dedup_shared = shared_dedup && !new_entry.owned;
+    const unsigned assoc = params_.assoc;
     TlbEntry *victim = nullptr;
-    for (unsigned way = 0; way < params_.assoc; ++way) {
+    for (unsigned way = 0; way < assoc; ++way) {
         TlbEntry &entry = base[way];
         const bool same_identity =
-            entry.valid && entry.vpn == new_entry.vpn &&
+            entry.vpn == new_entry.vpn && entry.valid &&
             entry.ccid == new_entry.ccid &&
             entry.owned == new_entry.owned &&
             (dedup_shared || entry.pcid == new_entry.pcid);
@@ -122,14 +165,23 @@ Tlb::fill(const TlbEntry &new_entry, bool shared_dedup)
     }
     if (!victim) {
         victim = &base[0];
-        for (unsigned way = 0; way < params_.assoc; ++way) {
+        bool found_invalid = false;
+        for (unsigned way = 0; way < assoc; ++way) {
             TlbEntry &entry = base[way];
             if (!entry.valid) {
                 victim = &entry;
+                found_invalid = true;
                 break;
             }
             if (entry.lru < victim->lru)
                 victim = &entry;
+        }
+        // A full set defers to the policy: Lru and Fifo both take the
+        // oldest stamp (Fifo never refreshed it on hits), Random picks
+        // a deterministic pseudo-random way.
+        if (!found_invalid &&
+            params_.policy == TlbParams::Policy::Random) {
+            victim = &base[nextRand() % params_.assoc];
         }
     }
     if (!victim->valid)
@@ -188,6 +240,16 @@ Tlb::invalidateAll()
     valid_count_ = 0;
 }
 
+void
+Tlb::reset()
+{
+    for (auto &entry : entries_)
+        entry = TlbEntry{};
+    valid_count_ = 0;
+    lru_clock_ = 0;
+    rng_state_ = policySeed();
+}
+
 const TlbEntry *
 Tlb::probe(Vpn vpn, Pcid pcid) const
 {
@@ -239,8 +301,10 @@ Tlb::save(snap::ArchiveWriter &ar) const
     ar.u32(static_cast<std::uint32_t>(entries_.size()));
     ar.u32(params_.assoc);
     ar.u8(static_cast<std::uint8_t>(params_.page_size));
+    ar.u8(static_cast<std::uint8_t>(params_.policy));
 
     ar.u64(lru_clock_);
+    ar.u64(rng_state_);
     ar.u32(valid_count_);
     for (const TlbEntry &entry : entries_) {
         ar.b(entry.valid);
@@ -278,8 +342,11 @@ Tlb::restore(snap::ArchiveReader &ar)
     geometry(ar.u32() == params_.assoc, "associativity");
     geometry(ar.u8() == static_cast<std::uint8_t>(params_.page_size),
              "page size");
+    geometry(ar.u8() == static_cast<std::uint8_t>(params_.policy),
+             "replacement policy");
 
     lru_clock_ = ar.u64();
+    rng_state_ = ar.u64();
     valid_count_ = ar.u32();
     for (TlbEntry &entry : entries_) {
         entry.valid = ar.b();

@@ -22,6 +22,14 @@ namespace bf::tlb
 /** Geometry of one TLB structure. */
 struct TlbParams
 {
+    /**
+     * Replacement policy within a set. Lru is the recorded-hardware
+     * default; Fifo never promotes on hit (fill-order eviction); Random
+     * picks a victim from a deterministic per-structure xorshift stream
+     * so runs stay reproducible.
+     */
+    enum class Policy : std::uint8_t { Lru = 0, Fifo = 1, Random = 2 };
+
     std::string name = "tlb";
     unsigned entries = 64;
     unsigned assoc = 4;      //!< 0 or >= entries => fully associative.
@@ -32,7 +40,11 @@ struct TlbParams
      * (the 12- vs 10-cycle L2 TLB access times of Table I).
      */
     Cycles bitmask_extra_cycles = 2;
+    Policy policy = Policy::Lru;
 };
+
+/** Stable lower-case policy name ("lru", "fifo", "random"). */
+const char *policyName(TlbParams::Policy policy);
 
 /** Result of a TLB lookup. */
 struct TlbLookup
@@ -101,6 +113,15 @@ class Tlb
     void invalidateAll();
     /** @} */
 
+    /**
+     * Return the structure to its post-construction state: all entries
+     * invalid, LRU clock and replacement RNG reseeded. Unlike
+     * invalidateAll() this does not count invalidations — it is for
+     * standalone reuse (the replay engine), not a modeled shootdown.
+     * Statistics are left untouched; pair with resetStats() if needed.
+     */
+    void reset();
+
     /** Probe without stats/LRU side effects (tests). */
     const TlbEntry *probe(Vpn vpn, Pcid pcid) const;
 
@@ -144,6 +165,7 @@ class Tlb
     unsigned valid_count_ = 0;
     std::vector<TlbEntry> entries_; //!< set-major.
     std::uint64_t lru_clock_ = 0;
+    std::uint64_t rng_state_ = 0;   //!< Random-policy xorshift state.
 
     stats::StatGroup stat_group_;
 
@@ -171,6 +193,12 @@ class Tlb
 
     /** Full-scan recount, for the debug cross-check of valid_count_. */
     unsigned recountValid() const;
+
+    /** Deterministic per-structure seed for the Random policy. */
+    std::uint64_t policySeed() const;
+
+    /** Advance the xorshift64 stream and return the new state. */
+    std::uint64_t nextRand();
 };
 
 } // namespace bf::tlb

@@ -1103,10 +1103,12 @@ Kernel::invalidateTlbs(const TlbInvalidate &inv)
 {
     ++shootdowns;
     if (tracer_)
-        tracer_->recordKernel(trace::EventType::Shootdown, inv.ccid, 0,
-                              inv.vpn << pageShift(inv.size),
-                              inv.num_pages,
-                              static_cast<std::uint8_t>(inv.kind));
+        tracer_->recordKernel(
+            trace::EventType::Shootdown, inv.ccid, 0,
+            inv.vpn << pageShift(inv.size),
+            trace::packShootdown(inv.num_pages, inv.pcid,
+                                 static_cast<unsigned>(inv.size)),
+            static_cast<std::uint8_t>(inv.kind));
     if (tlb_hook_)
         tlb_hook_(inv);
 }

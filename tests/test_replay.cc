@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Tests for the trace-driven replay engine (src/replay, DESIGN.md §13):
+ *
+ *  - the headline fidelity property: replaying a trace at the recording
+ *    configuration reproduces the full simulation's per-core L1/L2 TLB
+ *    and PWC hit/miss counters (and the miss-latency count and sum)
+ *    EXACTLY — for traces recorded at BF_WORKERS 1, 2 and 4, across a
+ *    mid-run resetStats boundary;
+ *  - sweep sanity: growing the L2 TLB associativity at a fixed set
+ *    count never increases misses on a fixed trace (LRU stack
+ *    inclusion);
+ *  - rejection: traces that cannot be replayed faithfully — truncated
+ *    files, limit-clipped recordings, wrong format versions, event
+ *    masks missing required kinds — fail with clear errors instead of
+ *    producing silently wrong counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/trace/trace.hh"
+#include "core/system.hh"
+#include "replay/replay.hh"
+#include "workloads/apps.hh"
+
+using namespace bf;
+using namespace bf::core;
+
+namespace
+{
+
+std::string
+tmpPath(const std::string &name)
+{
+    return ::testing::TempDir() + name;
+}
+
+std::vector<std::uint8_t>
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+}
+
+void
+spit(const std::string &path, const std::vector<std::uint8_t> &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+const workloads::AppProfile &
+mongodbProfile()
+{
+    static const workloads::AppProfile profile =
+        workloads::AppProfile::mongodb();
+    return profile;
+}
+
+/** Per-core ground truth pulled from a live full simulation. */
+std::vector<replay::Counters>
+liveCounters(System &sys)
+{
+    std::vector<replay::Counters> out;
+    for (unsigned c = 0; c < sys.numCores(); ++c) {
+        auto &mmu = sys.core(c).mmu();
+        replay::Counters k;
+        k.l1_hits = mmu.l1_hits.value();
+        k.l1_misses = mmu.l1_misses.value();
+        k.l2_data_hits = mmu.l2_data_hits.value();
+        k.l2_data_misses = mmu.l2_data_misses.value();
+        k.l2_instr_hits = mmu.l2_instr_hits.value();
+        k.l2_instr_misses = mmu.l2_instr_misses.value();
+        k.l2_data_shared_hits = mmu.l2_data_shared_hits.value();
+        k.l2_instr_shared_hits = mmu.l2_instr_shared_hits.value();
+        k.l2_long_accesses = mmu.l2_long_accesses.value();
+        k.walks = mmu.walker().walks.value();
+        k.pwc_hits = mmu.pwc().hits.value();
+        k.pwc_misses = mmu.pwc().misses.value();
+        k.miss_latency_count = mmu.miss_latency.count();
+        k.miss_latency_sum = mmu.miss_latency.sum();
+        out.push_back(k);
+    }
+    return out;
+}
+
+/**
+ * The test_trace.cc workload shape: two mongodb containers per core on
+ * a 4-core BabelFish system, traced, with a resetStats between warm-up
+ * and measurement (so replay must honor the StatsReset marker). Returns
+ * the live per-core counters after the measured phase.
+ */
+std::vector<replay::Counters>
+runTracedMix(unsigned workers, const std::string &trace_path,
+             std::uint32_t mask = trace::allEvents,
+             std::uint64_t limit = 0)
+{
+    SystemParams params = SystemParams::babelfish();
+    params.num_cores = 4;
+    params.workers = workers;
+    params.sync_chunk = 20000;
+    params.kernel.mem_frames = 1 << 22;
+    params.core.quantum = msToCycles(0.25);
+    params.trace_path = trace_path;
+    params.trace_events = mask;
+    params.trace_limit = limit;
+
+    System sys(params);
+    const unsigned n = params.num_cores * 2;
+    auto app = workloads::buildApp(sys.kernel(), mongodbProfile(), n, 29);
+    auto threads = workloads::makeAppThreads(app, 29);
+    for (unsigned i = 0; i < n; ++i)
+        sys.addThread(i % params.num_cores, threads[i].get());
+
+    sys.run(msToCycles(0.5));
+    sys.resetStats();
+    sys.run(msToCycles(1));
+    return liveCounters(sys);
+}
+
+/** Compare one reconstructed counter set against the live ground truth. */
+void
+expectEqualCounters(const replay::Counters &live,
+                    const replay::Counters &rep, unsigned core,
+                    const char *what)
+{
+    SCOPED_TRACE(std::string(what) + " core " + std::to_string(core));
+    EXPECT_EQ(live.l1_hits, rep.l1_hits);
+    EXPECT_EQ(live.l1_misses, rep.l1_misses);
+    EXPECT_EQ(live.l2_data_hits, rep.l2_data_hits);
+    EXPECT_EQ(live.l2_data_misses, rep.l2_data_misses);
+    EXPECT_EQ(live.l2_instr_hits, rep.l2_instr_hits);
+    EXPECT_EQ(live.l2_instr_misses, rep.l2_instr_misses);
+    EXPECT_EQ(live.l2_data_shared_hits, rep.l2_data_shared_hits);
+    EXPECT_EQ(live.l2_instr_shared_hits, rep.l2_instr_shared_hits);
+    EXPECT_EQ(live.l2_long_accesses, rep.l2_long_accesses);
+    EXPECT_EQ(live.walks, rep.walks);
+    EXPECT_EQ(live.pwc_hits, rep.pwc_hits);
+    EXPECT_EQ(live.pwc_misses, rep.pwc_misses);
+    EXPECT_EQ(live.miss_latency_count, rep.miss_latency_count);
+    EXPECT_EQ(live.miss_latency_sum, rep.miss_latency_sum);
+}
+
+/** Replay a trace at its recording config (with optional overrides). */
+std::unique_ptr<replay::ReplayEngine>
+replayTrace(const std::string &path,
+            const std::function<void(replay::ReplayParams &)> &tweak = {})
+{
+    trace::TraceReader reader(path);
+    replay::ReplayParams params =
+        replay::paramsFromTrace(reader.header().config);
+    if (tweak)
+        tweak(params);
+    auto engine =
+        std::make_unique<replay::ReplayEngine>(params, reader.header());
+    engine->run(reader);
+    return engine;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Fidelity: replay at the recording config is exact
+// ---------------------------------------------------------------------
+
+// Replaying a trace at the configuration embedded in its header
+// reproduces the live simulation's post-reset per-core TLB/PWC counters
+// exactly — for traces recorded at 1, 2 and 4 bound-phase workers (the
+// trace bytes are worker-independent, and so is the replay).
+TEST(Replay, MatchesFullSimAtRecordingConfig)
+{
+    for (unsigned workers : {1u, 2u, 4u}) {
+        const std::string path =
+            tmpPath("replay-w" + std::to_string(workers) + ".trace");
+        const auto live = runTracedMix(workers, path);
+
+        auto engine = replayTrace(path);
+        ASSERT_EQ(engine->numCores(), live.size());
+
+        // Internal consistency: replayed == tallied-from-events.
+        const auto diffs = engine->validate();
+        EXPECT_TRUE(diffs.empty())
+            << diffs.size() << " counter(s) diverge, first: "
+            << (diffs.empty() ? "" : diffs[0].name);
+
+        // External ground truth: replayed == live full-sim counters.
+        for (unsigned c = 0; c < live.size(); ++c) {
+            expectEqualCounters(live[c], engine->replayed(c), c,
+                                "replayed");
+            expectEqualCounters(live[c], engine->recorded(c), c,
+                                "recorded-tally");
+        }
+    }
+}
+
+// The replayed stats tree exports the familiar per-core mmu sections.
+TEST(Replay, StatsJsonHasMmuSections)
+{
+    const std::string path = tmpPath("replay-json.trace");
+    runTracedMix(1, path);
+    auto engine = replayTrace(path);
+    const std::string json = engine->statsJson();
+    EXPECT_NE(json.find("\"core0\""), std::string::npos);
+    EXPECT_NE(json.find("\"mmu\""), std::string::npos);
+    EXPECT_NE(json.find("\"l2_4k\""), std::string::npos);
+    EXPECT_NE(json.find("\"pwc\""), std::string::npos);
+    EXPECT_NE(json.find("\"miss_latency\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Sweep sanity
+// ---------------------------------------------------------------------
+
+// Growing L2 associativity with the set count fixed can only keep or
+// shrink the miss counts on a fixed trace (LRU stack inclusion per
+// set). Also the sweep never throws: synthesized walks cover accesses
+// the recording resolved in its (smaller) TLBs.
+TEST(Replay, LargerL2TlbIsMonotonicallyBetter)
+{
+    const std::string path = tmpPath("replay-mono.trace");
+    runTracedMix(1, path);
+
+    std::uint64_t prev_misses = ~std::uint64_t{0};
+    for (unsigned assoc : {6u, 12u, 24u}) {
+        auto engine = replayTrace(path, [&](replay::ReplayParams &p) {
+            // 128 sets at every point: entries scale with assoc.
+            for (tlb::TlbParams *tp : {&p.l2_4k, &p.l2_2m, &p.l2_1g}) {
+                tp->assoc = assoc;
+                tp->entries = 128 * assoc;
+            }
+        });
+        const auto total = engine->replayedTotal();
+        const std::uint64_t misses =
+            total.l2_data_misses + total.l2_instr_misses;
+        EXPECT_LE(misses, prev_misses) << "assoc " << assoc;
+        prev_misses = misses;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rejection of unreplayable traces
+// ---------------------------------------------------------------------
+
+// A limit-clipped trace (records dropped by BF_TRACE_LIMIT) is rejected
+// at engine construction with a message naming the cause.
+TEST(Replay, RejectsLimitClippedTrace)
+{
+    const std::string path = tmpPath("replay-clipped.trace");
+    runTracedMix(1, path, trace::allEvents, /*limit=*/5000);
+    trace::TraceReader reader(path);
+    ASSERT_GT(reader.header().dropped_count, 0u);
+    const replay::ReplayParams params =
+        replay::paramsFromTrace(reader.header().config);
+    try {
+        replay::ReplayEngine engine(params, reader.header());
+        FAIL() << "clipped trace accepted";
+    } catch (const replay::ReplayError &err) {
+        EXPECT_NE(std::string(err.what()).find("limit-clipped"),
+                  std::string::npos);
+    }
+}
+
+// A trace recorded without a replay-required event kind is rejected,
+// naming the missing kinds.
+TEST(Replay, RejectsInsufficientEventMask)
+{
+    const std::string path = tmpPath("replay-masked.trace");
+    const std::uint32_t no_fill =
+        trace::allEvents &
+        ~(1u << static_cast<unsigned>(trace::EventType::TlbFill));
+    runTracedMix(1, path, no_fill);
+    trace::TraceReader reader(path);
+    const replay::ReplayParams params =
+        replay::paramsFromTrace(reader.header().config);
+    try {
+        replay::ReplayEngine engine(params, reader.header());
+        FAIL() << "insufficient event mask accepted";
+    } catch (const replay::ReplayError &err) {
+        EXPECT_NE(std::string(err.what()).find("tlb_fill"),
+                  std::string::npos);
+    }
+}
+
+// Truncated files die in the reader with a TraceError, and a patched
+// format version (a v1 file masquerading) is rejected up front — the
+// strict side of the trace-format compatibility contract.
+TEST(Replay, RejectsTruncatedAndWrongVersionTraces)
+{
+    const std::string path = tmpPath("replay-broken.trace");
+    runTracedMix(1, path);
+    const auto good = slurp(path);
+
+    // Truncated mid-block: the reader throws while replaying.
+    spit(path, {good.begin(), good.end() - 7});
+    {
+        trace::TraceReader reader(path);
+        replay::ReplayEngine engine(
+            replay::paramsFromTrace(reader.header().config),
+            reader.header());
+        EXPECT_THROW(engine.run(reader), trace::TraceError);
+    }
+
+    // Version byte patched to 1: rejected at open, telling the user to
+    // re-record rather than guessing at an old layout.
+    auto bad = good;
+    bad[8] = 1;
+    spit(path, bad);
+    try {
+        trace::TraceReader reader(path);
+        FAIL() << "wrong version accepted";
+    } catch (const trace::TraceError &err) {
+        EXPECT_NE(std::string(err.what()).find("re-record"),
+                  std::string::npos);
+    }
+}
