@@ -9,7 +9,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+
 #include "bench/common.hh"
+#include "common/object_pool.hh"
 #include "core/mmu.hh"
 #include "mem/hierarchy.hh"
 #include "tlb/page_walker.hh"
@@ -75,6 +78,282 @@ BM_TlbLookupBabelFish(benchmark::State &state)
     }
 }
 BENCHMARK(BM_TlbLookupBabelFish);
+
+/**
+ * AoS replica of the pre-SoA TLB set layout: the whole entry in one
+ * struct, sets scanned way by way. Kept here as the "before" model so
+ * the SoA win (BM_TlbLookupConventional walks the real split arrays)
+ * stays measurable.
+ */
+struct AosTlb
+{
+    struct Entry
+    {
+        Vpn vpn = 0;
+        Ppn ppn = 0;
+        Pcid pcid = 0;
+        Ccid ccid = 0;
+        std::uint32_t pc_bitmask = 0;
+        std::uint64_t lru = 0;
+        bool valid = false;
+        bool orpc = false;
+    };
+
+    unsigned sets, assoc;
+    std::vector<Entry> entries;
+
+    AosTlb(unsigned n, unsigned a)
+        : sets(n / a), assoc(a), entries(n)
+    {}
+
+    const Entry *
+    lookup(Vpn vpn, Pcid pcid)
+    {
+        Entry *base = &entries[(vpn % sets) * assoc];
+        for (unsigned w = 0; w < assoc; ++w) {
+            Entry &e = base[w];
+            if (e.valid && e.vpn == vpn && e.pcid == pcid) {
+                e.lru = ++tick;
+                return &e;
+            }
+        }
+        return nullptr;
+    }
+
+    std::uint64_t tick = 0;
+};
+
+void
+fillAosTlb(AosTlb &tlb)
+{
+    for (Vpn vpn = 0; vpn < tlb.entries.size(); ++vpn) {
+        AosTlb::Entry &e = tlb.entries[(vpn % tlb.sets) * tlb.assoc +
+                                       (vpn / tlb.sets) % tlb.assoc];
+        e.valid = true;
+        e.vpn = vpn;
+        e.ppn = vpn + 100;
+        e.pcid = 1 + (vpn % 3);
+    }
+}
+
+void
+BM_TlbScanAoS(benchmark::State &state)
+{
+    // Single hot instance: the whole structure is cache-resident, so
+    // this measures pure scan arithmetic (where AoS and SoA are close);
+    // the Pressured pair below measures the layout's cache footprint,
+    // which is what the SoA refactor bought end-to-end.
+    AosTlb tlb(1536, 12);
+    fillAosTlb(tlb);
+    Vpn vpn = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tlb.lookup(vpn, 1 + (vpn % 3)));
+        vpn = (vpn + 97) % 1536;
+    }
+}
+BENCHMARK(BM_TlbScanAoS);
+
+constexpr unsigned kPressureTlbs = 48; //!< ~8 cores x 6 structures.
+
+void
+BM_TlbScanAoSPressured(benchmark::State &state)
+{
+    // Round-robin over as many instances as a full 8-core system keeps
+    // live, spilling the private caches: every AoS probe drags whole
+    // entries (lru, ppn, bitmask) through them. How much that costs
+    // depends on the host's cache sizes — the authoritative number for
+    // the SoA refactor is the end-to-end A/B in EXPERIMENTS.md; this
+    // pair isolates the layout for profiling.
+    std::vector<std::unique_ptr<AosTlb>> tlbs;
+    for (unsigned i = 0; i < kPressureTlbs; ++i) {
+        tlbs.push_back(std::make_unique<AosTlb>(1536, 12));
+        fillAosTlb(*tlbs.back());
+    }
+    Vpn vpn = 0;
+    unsigned j = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tlbs[j]->lookup(vpn, 1 + (vpn % 3)));
+        vpn = (vpn + 97) % 1536;
+        j = (j + 1) % kPressureTlbs;
+    }
+}
+BENCHMARK(BM_TlbScanAoSPressured);
+
+void
+BM_TlbScanSoAPressured(benchmark::State &state)
+{
+    // The same pressure on the real SoA sets: the probe loop walks only
+    // the packed tag lanes; the payload lanes are touched on hits only.
+    std::vector<std::unique_ptr<tlb::Tlb>> tlbs;
+    for (unsigned i = 0; i < kPressureTlbs; ++i)
+        tlbs.push_back(makeFilledTlb(1536));
+    Vpn vpn = 0;
+    unsigned j = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            tlbs[j]->lookupConventional(vpn, 1 + (vpn % 3)));
+        vpn = (vpn + 97) % 1536;
+        j = (j + 1) % kPressureTlbs;
+    }
+}
+BENCHMARK(BM_TlbScanSoAPressured);
+
+/**
+ * MMU translate fixture for the L0 inline-cache microbenches: one warm
+ * 4K-mapped region, faults pre-taken so the loop measures only the
+ * TLB-hit path. @p no_l0 constructs the Mmu with BF_NO_L0 set, i.e.
+ * the slow-path L1 probe sequence the L0 short-circuits.
+ */
+struct MmuFixture
+{
+    vm::Kernel kernel;
+    mem::CacheHierarchy mem;
+    std::unique_ptr<core::Mmu> mmu;
+    vm::Process *proc;
+
+    explicit MmuFixture(bool no_l0 = false)
+        : kernel([] {
+              auto p = core::SystemParams::babelfish().kernel;
+              p.mem_frames = 1 << 22;
+              return p;
+          }()),
+          mem(mem::HierarchyParams{}, 1)
+    {
+        if (no_l0)
+            ::setenv("BF_NO_L0", "1", 1);
+        auto p = core::SystemParams::babelfish();
+        auto m = p.mmu;
+        m.aslr = p.kernel.aslr;
+        mmu = std::make_unique<core::Mmu>(0, m, mem, kernel);
+        if (no_l0)
+            ::unsetenv("BF_NO_L0");
+
+        const Ccid g = kernel.createGroup("g", 1);
+        proc = kernel.createProcess(g, "p");
+        auto *file = kernel.createFile("f", 16 << 20);
+        file->preload(kernel.frames());
+        kernel.mmapObject(*proc, file, kVa, 16 << 20, 0, false, false,
+                          false);
+        for (Addr va = kVa; va < kVa + (16ull << 20); va += 4096)
+            mmu->translate(*proc, va, AccessType::Read, 0);
+    }
+};
+
+void
+BM_MmuTranslateL0Hit(benchmark::State &state)
+{
+    MmuFixture fx;
+    // A small strided working set: every access is an L0 hit after the
+    // first lap (32 pages, distinct L0 slots).
+    Addr va = kVa;
+    Cycles now = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            fx.mmu->translate(*fx.proc, va, AccessType::Read, now += 10));
+        va = kVa + ((va - kVa + 4096) & (32 * 4096 - 1));
+    }
+}
+BENCHMARK(BM_MmuTranslateL0Hit);
+
+void
+BM_MmuTranslateL0Disabled(benchmark::State &state)
+{
+    MmuFixture fx(/*no_l0=*/true);
+    // Identical access stream to BM_MmuTranslateL0Hit, answered by the
+    // full L1 probe sequence — the delta is the L0's saving.
+    Addr va = kVa;
+    Cycles now = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            fx.mmu->translate(*fx.proc, va, AccessType::Read, now += 10));
+        va = kVa + ((va - kVa + 4096) & (32 * 4096 - 1));
+    }
+}
+BENCHMARK(BM_MmuTranslateL0Disabled);
+
+void
+BM_MmuTranslateL0Conflict(benchmark::State &state)
+{
+    MmuFixture fx;
+    // Two pages 1 MiB apart alias the same direct-mapped L0 slot but
+    // coexist in the 4-way L1 set: every access misses the L0 and
+    // falls back to the L1 probe, measuring the miss-side overhead.
+    const Addr a = kVa, b = kVa + 256 * 4096;
+    bool flip = false;
+    Cycles now = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(fx.mmu->translate(
+            *fx.proc, flip ? a : b, AccessType::Read, now += 10));
+        flip = !flip;
+    }
+}
+BENCHMARK(BM_MmuTranslateL0Conflict);
+
+void
+BM_MmuApplyInvalidatePage(benchmark::State &state)
+{
+    MmuFixture fx;
+    // Steady-state shootdown cost: one page invalidate against warm
+    // structures (includes the L0 generation bump) plus the re-warming
+    // translate that refills what the shootdown dropped.
+    Cycles now = 0;
+    for (auto _ : state) {
+        fx.mmu->applyInvalidate({vm::TlbInvalidate::Kind::Page,
+                                 fx.proc->ccid(), fx.proc->pcid(),
+                                 kVa >> 12, 1, PageSize::Size4K});
+        benchmark::DoNotOptimize(fx.mmu->translate(
+            *fx.proc, kVa, AccessType::Read, now += 100));
+    }
+}
+BENCHMARK(BM_MmuApplyInvalidatePage);
+
+/** Heap-churn payload sized like a kernel PageTablePage. */
+struct ChurnObj
+{
+    std::uint64_t words[72];
+
+    explicit ChurnObj(std::uint64_t seed) { words[0] = seed; }
+};
+
+void
+BM_ObjectPoolChurn(benchmark::State &state)
+{
+    ObjectPool<ChurnObj> pool;
+    std::vector<ChurnObj *> live;
+    live.reserve(64);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        live.push_back(pool.acquire(i++));
+        if (live.size() == 64) {
+            for (ChurnObj *obj : live)
+                pool.release(obj);
+            live.clear();
+        }
+    }
+    for (ChurnObj *obj : live)
+        pool.release(obj);
+}
+BENCHMARK(BM_ObjectPoolChurn);
+
+void
+BM_HeapChurn(benchmark::State &state)
+{
+    // The malloc/free baseline BM_ObjectPoolChurn replaces.
+    std::vector<ChurnObj *> live;
+    live.reserve(64);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        live.push_back(new ChurnObj(i++));
+        if (live.size() == 64) {
+            for (ChurnObj *obj : live)
+                delete obj;
+            live.clear();
+        }
+    }
+    for (ChurnObj *obj : live)
+        delete obj;
+}
+BENCHMARK(BM_HeapChurn);
 
 void
 BM_CacheHierarchyAccess(benchmark::State &state)

@@ -19,6 +19,9 @@
  *                       .sim_mips is the baseline for the speedup note.
  *   BF_BASELINE_MIPS=x  numeric baseline override (wins over
  *                       BF_BASELINE).
+ *   BF_MIPS_GUARD=f     regression gate: exit 1 if the aggregate falls
+ *                       below f x baseline (e.g. 0.85 = fail on a >15%
+ *                       drop). No-op without a baseline.
  * Without a baseline the speedup note is omitted — there is no
  * hard-coded reference value, so numbers from different machines never
  * get compared silently.
@@ -231,5 +234,20 @@ main()
         report.note("speedup", speedup);
     }
     report.write();
+
+    // Regression gate (CI): with a baseline and BF_MIPS_GUARD set, a
+    // drop below guard x baseline is a hard failure. The report above
+    // is written either way so the artifact shows the failing numbers.
+    if (const char *g = std::getenv("BF_MIPS_GUARD")) {
+        const double guard = std::atof(g);
+        if (baseline_mips > 0 && guard > 0 &&
+            total.mips() < guard * baseline_mips) {
+            std::fprintf(stderr,
+                         "FAIL: aggregate %.2f MIPS is below %.0f%% of "
+                         "the %.2f MIPS baseline\n",
+                         total.mips(), guard * 100, baseline_mips);
+            return 1;
+        }
+    }
     return 0;
 }

@@ -16,6 +16,9 @@
  *                  (default: hardware concurrency; 1 = serial).
  *   BF_WORKERS=n   host threads for the bound phase INSIDE each System
  *                  (default 1; stats are byte-identical at any value).
+ *   BF_BATCH=n     references pulled per Thread::nextBatch call into
+ *                  the cores' prefetch buffers (default 16; stats are
+ *                  byte-identical at any value, 1 disables batching).
  *   BF_SYNC_CHUNK  lockstep sync-chunk length in cycles (default
  *                  20000; must be > 0).
  *   BF_SAMPLE_MS   time-series sampling period (default 1 ms of
@@ -82,6 +85,7 @@ struct RunConfig
     double sample_ms = 1;      //!< Time-series period; 0 = off.
     unsigned jobs = 0;         //!< Worker threads; 0 = hardware.
     unsigned system_workers = 1; //!< Bound-phase threads per System.
+    unsigned batch = 16;         //!< Core prefetch batch (BF_BATCH).
     Cycles sync_chunk = 20000;   //!< Lockstep chunk length in cycles.
     std::uint64_t seed = 42;
     std::string ckpt_dir;      //!< BF_CKPT: save post-warm-up state here.
@@ -112,6 +116,9 @@ struct RunConfig
         if (const char *workers = std::getenv("BF_WORKERS"))
             cfg.system_workers =
                 std::max(1, std::atoi(workers));
+        if (const char *batch = std::getenv("BF_BATCH"))
+            cfg.batch = static_cast<unsigned>(
+                std::max(1, std::atoi(batch)));
         if (const char *chunk = std::getenv("BF_SYNC_CHUNK")) {
             const long long value = std::atoll(chunk);
             if (value <= 0) {
@@ -250,6 +257,7 @@ struct RunConfig
     {
         params.workers = system_workers;
         params.sync_chunk = sync_chunk;
+        params.core.batch = batch;
     }
 
     /** Sampling period in cycles (0 = sampling off). */
@@ -289,6 +297,7 @@ reportConfig(BenchReport &report, const RunConfig &cfg)
     report.config("sample_ms", cfg.sample_ms);
     report.config("jobs", cfg.workers());
     report.config("workers", cfg.system_workers);
+    report.config("batch", cfg.batch);
     report.config("sync_chunk", static_cast<double>(cfg.sync_chunk));
     report.config("seed", static_cast<double>(cfg.seed));
     report.config("ckpt_dir", cfg.ckpt_dir);

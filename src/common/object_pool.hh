@@ -1,0 +1,129 @@
+/**
+ * @file
+ * A freelist-backed object pool for the kernel's high-churn objects
+ * (page-table pages, MaskPages, processes).
+ *
+ * The modeled kernel allocates and frees these in bursts — container
+ * bring-up, CoW privatization, table teardown — and the host-side
+ * malloc/free round trips plus the resulting heap scatter showed up in
+ * profiles. The pool carves fixed-size chunks, recycles slots through a
+ * freelist LIFO (so a slot freed by one teardown is re-used hot by the
+ * next bring-up), and never returns memory until the pool itself dies.
+ *
+ * Determinism: the pool changes only WHERE objects live on the host,
+ * never any modeled state, so simulated stats are unaffected. Slot
+ * addresses are host-run specific either way (malloc was too), and
+ * nothing modeled keys off object addresses.
+ */
+
+#ifndef BF_COMMON_OBJECT_POOL_HH
+#define BF_COMMON_OBJECT_POOL_HH
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace bf
+{
+
+template <typename T>
+class ObjectPool;
+
+/** unique_ptr deleter that returns the object to its pool. */
+template <typename T>
+struct PoolDeleter
+{
+    ObjectPool<T> *pool = nullptr;
+    void operator()(T *obj) const noexcept;
+};
+
+/** Owning handle for a pooled object. */
+template <typename T>
+using PoolPtr = std::unique_ptr<T, PoolDeleter<T>>;
+
+template <typename T>
+class ObjectPool
+{
+  public:
+    /** @param chunk_objects slots carved per chunk allocation. */
+    explicit ObjectPool(std::size_t chunk_objects = 64)
+        : chunk_objects_(chunk_objects ? chunk_objects : 1)
+    {}
+
+    ObjectPool(const ObjectPool &) = delete;
+    ObjectPool &operator=(const ObjectPool &) = delete;
+
+    /**
+     * Construct a T in a recycled (or fresh) slot. The raw pointer must
+     * come back through release(); prefer make() which guarantees it.
+     */
+    template <typename... Args>
+    T *
+    acquire(Args &&...args)
+    {
+        if (free_.empty())
+            grow();
+        T *slot = free_.back();
+        free_.pop_back();
+        ++live_;
+        return ::new (static_cast<void *>(slot))
+            T(std::forward<Args>(args)...);
+    }
+
+    /** Destroy a pooled object and recycle its slot. */
+    void
+    release(T *obj) noexcept
+    {
+        obj->~T();
+        free_.push_back(obj);
+        --live_;
+    }
+
+    /** acquire() wrapped in an owning handle tied to this pool. */
+    template <typename... Args>
+    PoolPtr<T>
+    make(Args &&...args)
+    {
+        return PoolPtr<T>(acquire(std::forward<Args>(args)...),
+                          PoolDeleter<T>{this});
+    }
+
+    /** Objects currently alive. */
+    std::size_t liveCount() const { return live_; }
+    /** Slots ever carved (live + free). */
+    std::size_t capacity() const { return chunks_.size() * chunk_objects_; }
+
+  private:
+    struct Slot
+    {
+        alignas(T) std::byte bytes[sizeof(T)];
+    };
+
+    void
+    grow()
+    {
+        chunks_.push_back(std::make_unique<Slot[]>(chunk_objects_));
+        Slot *chunk = chunks_.back().get();
+        // Freelist is LIFO; push in reverse so the first acquires walk
+        // the chunk front to back.
+        for (std::size_t i = chunk_objects_; i-- > 0;)
+            free_.push_back(reinterpret_cast<T *>(chunk[i].bytes));
+    }
+
+    std::size_t chunk_objects_;
+    std::size_t live_ = 0;
+    std::vector<std::unique_ptr<Slot[]>> chunks_;
+    std::vector<T *> free_;
+};
+
+template <typename T>
+void
+PoolDeleter<T>::operator()(T *obj) const noexcept
+{
+    pool->release(obj);
+}
+
+} // namespace bf
+
+#endif // BF_COMMON_OBJECT_POOL_HH

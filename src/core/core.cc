@@ -27,6 +27,7 @@ void
 Core::addThread(Thread *thread)
 {
     threads_.push_back(thread);
+    prefetch_.emplace_back();
     thread_done_.push_back(thread->finished() ? 1 : 0);
     if (thread_done_.back())
         ++done_count_;
@@ -36,6 +37,7 @@ void
 Core::clearThreads()
 {
     threads_.clear();
+    prefetch_.clear();
     thread_done_.clear();
     done_count_ = 0;
     current_ = 0;
@@ -127,15 +129,24 @@ Core::runUntil(Cycles until)
                 continue;
             }
 
-            if (!thread->next(ref)) {
-                // Thread just ran to completion.
-                noteFinished(current_);
-                if (!scheduleNext()) {
-                    now_ = until;
-                    return;
+            PrefetchBuf &buf = prefetch_[current_];
+            if (buf.empty()) {
+                const unsigned max = params_.batch ? params_.batch : 1;
+                buf.refs.resize(max);
+                buf.head = 0;
+                const unsigned n = thread->nextBatch(buf.refs.data(), max);
+                buf.refs.resize(n);
+                if (n == 0) {
+                    // Thread just ran to completion.
+                    noteFinished(current_);
+                    if (!scheduleNext()) {
+                        now_ = until;
+                        return;
+                    }
+                    continue;
                 }
-                continue;
             }
+            ref = buf.refs[buf.head++];
 
             // Base pipeline time for the instructions retired with this
             // ref.
@@ -250,6 +261,20 @@ Core::save(snap::ArchiveWriter &ar) const
     ar.b(pending_ref_.request_end);
     ar.b(pending_ref_.yield_after);
     ar.u32(pending_retries_);
+    // Unconsumed prefetched references: already pulled from their
+    // generators, so they must re-issue from the checkpoint exactly as
+    // the uninterrupted run would have issued them.
+    for (const PrefetchBuf &buf : prefetch_) {
+        ar.u32(static_cast<std::uint32_t>(buf.refs.size() - buf.head));
+        for (std::size_t i = buf.head; i < buf.refs.size(); ++i) {
+            const MemRef &ref = buf.refs[i];
+            ar.u64(ref.va);
+            ar.u8(static_cast<std::uint8_t>(ref.type));
+            ar.u32(ref.instrs);
+            ar.b(ref.request_end);
+            ar.b(ref.yield_after);
+        }
+    }
     mmu_->save(ar);
 }
 
@@ -273,6 +298,17 @@ Core::restore(snap::ArchiveReader &ar)
     pending_ref_.request_end = ar.b();
     pending_ref_.yield_after = ar.b();
     pending_retries_ = ar.u32();
+    for (PrefetchBuf &buf : prefetch_) {
+        buf.refs.resize(ar.u32());
+        buf.head = 0;
+        for (MemRef &ref : buf.refs) {
+            ref.va = ar.u64();
+            ref.type = static_cast<AccessType>(ar.u8());
+            ref.instrs = ar.u32();
+            ref.request_end = ar.b();
+            ref.yield_after = ar.b();
+        }
+    }
     blocked_ = false;
     mmu_->restore(ar);
 }

@@ -115,6 +115,22 @@ class Core
 
     std::vector<Thread *> threads_;
     /**
+     * Per-thread prefetch buffers, parallel to threads_: references
+     * pulled ahead through Thread::nextBatch and not yet executed. A
+     * buffer survives quantum preemption and yields (its references
+     * were already taken from the generator, so they run — in order —
+     * when the thread is next scheduled), and travels with the
+     * checkpoint so a restored run re-issues the identical stream.
+     */
+    struct PrefetchBuf
+    {
+        std::vector<MemRef> refs;
+        std::size_t head = 0;
+        bool empty() const { return head >= refs.size(); }
+        void clear() { refs.clear(); head = 0; }
+    };
+    std::vector<PrefetchBuf> prefetch_;
+    /**
      * Cached Thread::finished() observations, parallel to threads_.
      * finished() is monotone (see thread.hh), so once a thread has been
      * seen done it stays done and the scheduler never needs to ask it

@@ -23,7 +23,8 @@ spinUntil(Cond cond)
 } // namespace
 
 BoundPool::BoundPool(unsigned extra_workers)
-    : stripe_count_(extra_workers + 1)
+    : stripe_count_(extra_workers + 1),
+      cursors_(std::make_unique<BlockCursor[]>(stripe_count_))
 {
     threads_.reserve(extra_workers);
     for (unsigned i = 0; i < extra_workers; ++i)
@@ -39,6 +40,21 @@ BoundPool::~BoundPool()
 }
 
 void
+BoundPool::drainBlock(unsigned block, const std::function<void(unsigned)> &fn)
+{
+    const unsigned end = blockBegin(block + 1);
+    std::atomic<unsigned> &cursor = cursors_[block].next;
+    // Cheap pre-check keeps steal sweeps from bumping exhausted
+    // cursors; the fetch_add below is the authoritative unique claim.
+    while (cursor.load(std::memory_order_relaxed) < end) {
+        const unsigned i = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (i >= end)
+            break;
+        fn(i);
+    }
+}
+
+void
 BoundPool::workerLoop(unsigned stripe)
 {
     std::uint64_t seen = 0;
@@ -50,8 +66,9 @@ BoundPool::workerLoop(unsigned stripe)
             return;
         seen = generation_.load(std::memory_order_acquire);
         const auto &fn = *job_;
-        for (unsigned i = stripe; i < n_; i += stripe_count_)
-            fn(i);
+        // Own block first, then steal from the others round-robin.
+        for (unsigned b = 0; b < stripe_count_; ++b)
+            drainBlock((stripe + b) % stripe_count_, fn);
         // Last touch of round state: after this the worker only reads
         // generation_, so the caller may safely set up the next round.
         done_.fetch_add(1, std::memory_order_release);
@@ -68,10 +85,13 @@ BoundPool::run(unsigned n, const std::function<void(unsigned)> &fn)
     }
     job_ = &fn;
     n_ = n;
+    for (unsigned s = 0; s < stripe_count_; ++s)
+        cursors_[s].next.store(blockBegin(s), std::memory_order_relaxed);
     done_.store(0, std::memory_order_relaxed);
     generation_.fetch_add(1, std::memory_order_release);
-    for (unsigned i = 0; i < n; i += stripe_count_)
-        fn(i);
+    // The caller is stripe 0: drain its block, then steal.
+    for (unsigned b = 0; b < stripe_count_; ++b)
+        drainBlock(b, fn);
     const unsigned workers = static_cast<unsigned>(threads_.size());
     spinUntil([&] {
         return done_.load(std::memory_order_acquire) == workers;

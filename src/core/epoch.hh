@@ -26,6 +26,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -112,17 +113,27 @@ class EpochLog
 };
 
 /**
- * Persistent worker pool for bound phases.
+ * Persistent worker pool for bound phases, with work stealing.
  *
  * A chunked simulation crosses the fork/join point tens of thousands of
  * times per second, so the pool keeps its threads alive and uses
  * spin-then-yield waits on atomics rather than re-spawning (a condvar
- * handoff costs microseconds per round). Work is partitioned statically
- * — stripe s runs items s, s+S, s+2S, ... — so no worker ever claims
- * work after its round completed (a dynamic ticket counter would allow
- * a trailing claim to leak into the next round's reset). Bound-phase
- * items are fully independent, so the assignment cannot affect
- * simulated state.
+ * handoff costs microseconds per round).
+ *
+ * Work distribution: the n items of a round are split into one
+ * contiguous block per stripe (worker threads plus the caller), each
+ * with an atomic claim cursor. A stripe drains its own block first,
+ * then sweeps the other blocks and steals whatever is still unclaimed
+ * — so a stripe whose cores idle at the sync barrier (short bound
+ * phases, uneven run queues) helps finish the stragglers' cores
+ * instead of spinning. Bound-phase items are fully independent and
+ * each is claimed exactly once (the cursor fetch_add is the claim), so
+ * which host thread runs an item cannot affect simulated state — the
+ * determinism argument is unchanged from static striping.
+ *
+ * Round isolation: workers signal done_ only after their final claim,
+ * and run() returns only once every worker has signaled, so no claim
+ * can leak into the next round's cursor reset.
  */
 class BoundPool
 {
@@ -141,10 +152,29 @@ class BoundPool
     void run(unsigned n, const std::function<void(unsigned)> &fn);
 
   private:
+    /** One claim cursor per stripe block, padded against false sharing. */
+    struct alignas(64) BlockCursor
+    {
+        std::atomic<unsigned> next{0};
+    };
+
     void workerLoop(unsigned stripe);
+
+    /** Claim-and-run loop over one block; returns when it is exhausted. */
+    void drainBlock(unsigned block,
+                    const std::function<void(unsigned)> &fn);
+
+    /** First item of a stripe's block (blocks are contiguous). */
+    unsigned
+    blockBegin(unsigned stripe) const
+    {
+        return static_cast<unsigned>(
+            (static_cast<std::uint64_t>(n_) * stripe) / stripe_count_);
+    }
 
     std::vector<std::thread> threads_;
     const unsigned stripe_count_; //!< threads_.size() + 1 (the caller).
+    std::unique_ptr<BlockCursor[]> cursors_; //!< One per stripe.
     std::atomic<std::uint64_t> generation_{0};
     std::atomic<unsigned> done_{0}; //!< Workers finished this round.
     std::atomic<bool> stop_{false};

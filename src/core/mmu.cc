@@ -3,6 +3,8 @@
 #include "common/logging.hh"
 #include "common/snapshot.hh"
 
+#include <cstdlib>
+
 namespace bf::core
 {
 
@@ -29,6 +31,11 @@ Mmu::Mmu(unsigned core_id, const MmuParams &params,
     walker_ = std::make_unique<tlb::PageWalker>(
         core_id_, hierarchy_, kernel_, *pwc_, params_.babelfish,
         &stat_group_);
+
+    // The L0 front cache replays conventional-lookup side effects; with
+    // CCID-shared L1 structures the candidate scan of Fig. 8 is left on
+    // the slow path (see the header comment on L0Entry).
+    l0_enabled_ = !params_.l1Sharing() && !std::getenv("BF_NO_L0");
 
     stat_group_.addStat("l1_hits", &l1_hits);
     stat_group_.addStat("l1_misses", &l1_misses);
@@ -145,6 +152,9 @@ Mmu::fillL1(const tlb::TlbEntry &entry, vm::Process &proc, AccessType type)
             l1i_4k_->fill(copy, params_.l1Sharing());
         return;
     }
+    // A data fill can turn a "structure probed before the owner still
+    // misses" assumption stale; retire the huge-page L0 slots.
+    ++l0_gen_;
     l1d_[sizeIndex(copy.size)]->fill(copy, params_.l1Sharing());
 }
 
@@ -160,6 +170,31 @@ Mmu::fillL2(const tlb::TlbEntry &entry, vm::Process &proc)
     l2_[sizeIndex(copy.size)]->fill(copy, params_.babelfish);
 }
 
+void
+Mmu::installL0(Addr va, Pcid pcid, AccessType type, PageSize size,
+               const tlb::TlbEntry *entry)
+{
+    if (!l0_enabled_)
+        return;
+    const bool ifetch = isIfetch(type);
+    const unsigned kind = ifetch ? 0 : 1 + sizeIndex(size);
+    L0Entry &slot = l0_[l0Index(va >> 12, pcid, ifetch)];
+    slot.vpn4k = va >> 12;
+    // The entry pointer stays valid for the structure's lifetime
+    // (entries_ never reallocates); the fast path re-validates its
+    // identity and re-reads the payload on every use.
+    slot.entry = const_cast<tlb::TlbEntry *>(entry);
+    slot.owner = ifetch ? l1i_4k_.get() : l1d_[sizeIndex(size)].get();
+    slot.gen = l0_gen_;
+    slot.pcid = pcid;
+    slot.shift = static_cast<std::uint8_t>(pageShift(size));
+    slot.owner_kind = static_cast<std::uint8_t>(kind);
+    slot.is_ifetch = ifetch;
+    // A huge-page hit replays misses of the structures probed first;
+    // those replays die with the generation on the next data fill.
+    slot.gen_sensitive = kind > 1;
+}
+
 int
 Mmu::cachedProcessBit(const vm::Process &proc, Addr canonical_va)
 {
@@ -168,17 +203,22 @@ Mmu::cachedProcessBit(const vm::Process &proc, Addr canonical_va)
     // determines the coarser two — so {pid, 1 GB region} keys the
     // answer exactly.
     const Addr region = vm::tableBase(canonical_va, vm::LevelPte + 1);
-    if (pb_cache_.gen_ptr && pb_cache_.pid == proc.pid() &&
-        pb_cache_.region == region && *pb_cache_.gen_ptr == pb_cache_.gen)
-        return pb_cache_.bit;
+    // 1 GB regions make the low 30 bits of `region` zero; fold the
+    // next bits with the pid for the slot index.
+    const std::size_t slot =
+        ((region >> 30) ^ proc.pid()) & (kPbCacheSize - 1);
+    PbCache &pb = pb_cache_[slot];
+    if (pb.gen_ptr && pb.pid == proc.pid() && pb.region == region &&
+        *pb.gen_ptr == pb.gen)
+        return pb.bit;
 
     const std::uint64_t *gen_ptr = kernel_.maskGenerationPtr(proc.ccid());
-    pb_cache_.gen_ptr = gen_ptr;
-    pb_cache_.gen = gen_ptr ? *gen_ptr : 0;
-    pb_cache_.pid = proc.pid();
-    pb_cache_.region = region;
-    pb_cache_.bit = kernel_.processBit(proc, canonical_va);
-    return pb_cache_.bit;
+    pb.gen_ptr = gen_ptr;
+    pb.gen = gen_ptr ? *gen_ptr : 0;
+    pb.pid = proc.pid();
+    pb.region = region;
+    pb.bit = kernel_.processBit(proc, canonical_va);
+    return pb.bit;
 }
 
 Translation
@@ -187,6 +227,57 @@ Mmu::translate(vm::Process &proc, Addr canonical_va, AccessType type,
 {
     Translation result;
     const bool is_write = type == AccessType::Write;
+
+    // ---- L0 fast path: a direct-mapped memo of the last slow-path L1
+    // hit for this {page, PCID, kind}. A hit re-validates the live TLB
+    // entry and replays the bypassed probe sequence's exact side
+    // effects, so stats and traces are byte-identical either way.
+    // Faulting accesses always fall through to the slow path, as do
+    // the retries after a fault (the loop below never consults L0).
+    if (l0_enabled_) {
+        const bool ifetch = isIfetch(type);
+        L0Entry &slot =
+            l0_[l0Index(canonical_va >> 12, proc.pcid(), ifetch)];
+        if (slot.vpn4k == (canonical_va >> 12) &&
+            slot.pcid == proc.pcid() && slot.is_ifetch == ifetch &&
+            (!slot.gen_sensitive || slot.gen == l0_gen_)) {
+            tlb::TlbEntry *e = slot.entry;
+            // Live re-validation: fills never duplicate a {VPN, PCID}
+            // in a conventional structure (a stale match is shot down
+            // before the refill), so a live identity match means this
+            // entry is exactly what lookupL1 would return — with its
+            // current ppn/cow/O-PC payload, re-read below.
+            if (e->valid && e->pcid == slot.pcid &&
+                e->vpn == (canonical_va >> slot.shift) &&
+                !(is_write && e->cow)) {
+                for (unsigned k = 1; k < slot.owner_kind; ++k)
+                    l1d_[k - 1]->recordL0Miss();
+                const bool shared = e->fill_pcid != slot.pcid;
+                slot.owner->recordL0Hit(e, shared);
+                ++l1_hits;
+                result.cycles += 1;
+                if (tracer_) {
+                    tlb::TlbLookup lk;
+                    lk.entry = e;
+                    lk.shared_hit = shared;
+                    const int pbit =
+                        params_.babelfish
+                            ? cachedProcessBit(proc, canonical_va)
+                            : -1;
+                    tracer_->record(core_id_, trace::EventType::TlbL1Hit,
+                                    now + result.cycles, proc.ccid(),
+                                    proc.pid(), canonical_va,
+                                    trace::packAttempt(proc.pcid(), pbit),
+                                    hitFlags(type, lk));
+                }
+                result.size = e->size;
+                result.paddr = (e->ppn << pageShift(e->size)) |
+                               (canonical_va &
+                                (pageBytes(e->size) - 1));
+                return result;
+            }
+        }
+    }
 
     // The PC-bitmask bit this process owns for the page's region (-1 for
     // the common case of no private copies). Computed once per translate,
@@ -257,6 +348,7 @@ Mmu::translate(vm::Process &proc, Addr canonical_va, AccessType type,
                 continue; // retry; the stale entries were shot down
             }
             ++l1_hits;
+            installL0(canonical_va, proc.pcid(), type, size, l1.entry);
             if (tracer_)
                 tracer_->record(core_id_, trace::EventType::TlbL1Hit,
                                 now + result.cycles, proc.ccid(),
@@ -473,6 +565,10 @@ void
 Mmu::applyInvalidate(const vm::TlbInvalidate &inv)
 {
     using Kind = vm::TlbInvalidate::Kind;
+    // Conservative: live-entry re-validation already catches every
+    // shot-down slot, but shootdowns are rare enough that retiring the
+    // whole L0 generation costs nothing and keeps the argument simple.
+    ++l0_gen_;
     auto forEachTlb = [&](auto &&fn) {
         fn(*l1i_4k_);
         for (auto &tlb : l1d_)
@@ -525,6 +621,8 @@ Mmu::flushAll()
     for (auto &tlb : l2_)
         tlb->invalidateAll();
     pwc_->invalidateAll();
+    ++l0_gen_;
+    l0_.fill(L0Entry{});
 }
 
 void
@@ -574,9 +672,12 @@ Mmu::restore(snap::ArchiveReader &ar)
     for (auto &tlb : l2_)
         tlb->restore(ar);
     pwc_->restore(ar);
-    // Drop the processBit memo: it re-warms on first use and has no
-    // stat side effects, so resuming cold here is invisible to stats.
-    pb_cache_ = PbCache{};
+    // Drop the processBit memo and the L0 front cache: both re-warm on
+    // first use and replay/answer with no stat side effects, so
+    // resuming cold here is invisible to stats.
+    pb_cache_.fill(PbCache{});
+    ++l0_gen_;
+    l0_.fill(L0Entry{});
 }
 
 } // namespace bf::core

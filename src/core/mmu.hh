@@ -149,14 +149,16 @@ class Mmu
     trace::Tracer *tracer_ = nullptr;
 
     /**
-     * One-entry cache of Kernel::processBit for the last {process,
-     * 1 GB region} this core translated in. Temporal locality makes
-     * this hit almost always, turning the per-translate region lookups
-     * into one pointer compare. Correctness: the kernel bumps the
-     * group's mask_generation counter on every mutation that can change
-     * a processBit() answer; the entry stores the counter's address and
-     * the value observed at fill, so a bump — or a different process or
-     * region, including one from another CCID group — misses and
+     * Direct-mapped cache of Kernel::processBit answers keyed by
+     * {process, 1 GB region}. A thread's request loop strides across
+     * several regions (code, stack, dataset, buffers), so a single
+     * entry thrashes — a handful indexed by region ⊕ pid captures the
+     * whole working set and turns the per-translate region lookups
+     * into one compare. Correctness: the kernel bumps the group's
+     * mask_generation counter on every mutation that can change a
+     * processBit() answer; each entry stores the counter's address and
+     * the value observed at fill, so a bump — or a different process
+     * or region, including one from another CCID group — misses and
      * re-queries. Pids are never reused, so a dead process' entry can
      * never match a live one.
      */
@@ -168,10 +170,60 @@ class Mmu
         Addr region = ~0ull;
         int bit = -1;
     };
-    PbCache pb_cache_;
+    static constexpr std::size_t kPbCacheSize = 16; //!< Power of two.
+    std::array<PbCache, kPbCacheSize> pb_cache_{};
 
     /** Kernel::processBit through pb_cache_. */
     int cachedProcessBit(const vm::Process &proc, Addr canonical_va);
+
+    /**
+     * L0 inline translation cache: a small direct-mapped front cache
+     * over lookupL1 that short-circuits the common repeated hit. Each
+     * slot remembers which live TLB entry answered a {VPN, PCID, kind}
+     * lookup; a hit re-validates the entry in place (valid, VPN, PCID)
+     * and replays the exact side effects of the bypassed probe
+     * sequence — per-structure hit/miss counters, the LRU touch, the
+     * +1 cycle, the trace record — so architectural stats stay
+     * byte-identical with the cache on or off.
+     *
+     * Coherence: shootdowns, CoW privatization and eviction all mark
+     * or overwrite the referenced TlbEntry, which the live check
+     * catches. Entries for huge pages additionally replay the misses
+     * of the smaller structures probed before the hit; those replays
+     * assume the earlier structures still miss, so such slots carry
+     * the generation l0_gen_, bumped on every L1 fill and every
+     * shootdown applied to this MMU. Only enabled when the L1 uses the
+     * conventional (non-CCID-shared) lookup; the BabelFish L1 lookup's
+     * candidate semantics are left on the slow path.
+     */
+    struct L0Entry
+    {
+        Vpn vpn4k = ~0ull;            //!< VA >> 12 (slot tag).
+        tlb::TlbEntry *entry = nullptr;
+        tlb::Tlb *owner = nullptr;
+        std::uint64_t gen = 0;
+        Pcid pcid = 0;
+        std::uint8_t shift = 0;       //!< Page shift of the entry.
+        std::uint8_t owner_kind = 0;  //!< 0=l1i, 1+sizeIndex for data.
+        bool is_ifetch = false;
+        bool gen_sensitive = false;   //!< Huge-page slot: check gen.
+    };
+    static constexpr std::size_t kL0Size = 256; //!< Power of two.
+    std::array<L0Entry, kL0Size> l0_{};
+    std::uint64_t l0_gen_ = 1;
+    bool l0_enabled_ = false;
+
+    static std::size_t
+    l0Index(Vpn vpn4k, Pcid pcid, bool ifetch)
+    {
+        return (vpn4k ^ (vpn4k >> 14) ^ (static_cast<Vpn>(pcid) << 3) ^
+                (ifetch ? 0x55u : 0u)) &
+               (kL0Size - 1);
+    }
+
+    /** Remember a slow-path L1 hit for the L0 fast path. */
+    void installL0(Addr va, Pcid pcid, AccessType type, PageSize size,
+                   const tlb::TlbEntry *entry);
 
     static unsigned sizeIndex(PageSize size)
     {

@@ -65,6 +65,15 @@ struct CoreParams
     Cycles quantum = msToCycles(10);
     /** Direct cost of a context switch (CR3 write; no TLB flush). */
     Cycles context_switch_cycles = 1500;
+    /**
+     * Host-side execution knob (like SystemParams::workers): how many
+     * references the core pulls per Thread::nextBatch call into its
+     * per-thread prefetch buffer. Stats are byte-identical at every
+     * value; 1 degenerates to one next() per reference. Benches
+     * override via BF_BATCH. Excluded from config hashes and
+     * checkpoint manifests for the same reason workers is.
+     */
+    unsigned batch = 16;
 };
 
 /** Whole-machine parameters. */

@@ -62,6 +62,29 @@ class Thread
      */
     virtual bool next(MemRef &ref) = 0;
 
+    /**
+     * Produce up to @p max references into @p out, returning how many
+     * were written (0 = run to completion, like next() returning
+     * false). The core pulls runs through this and buffers them, so a
+     * generator that can hand out several queued references per call
+     * amortizes the virtual dispatch and its own cursor checks.
+     *
+     * Contract: the concatenation of all nextBatch() results must be
+     * the exact reference stream repeated next() calls would produce,
+     * and a batch must never cross a point where the generator's
+     * output could depend on completed() callbacks of references
+     * inside the same batch — the core only delivers completions for
+     * batch k before it asks for batch k+1. Generators whose every
+     * reference may depend on the previous completion keep the
+     * default, which degenerates to one next() per call.
+     */
+    virtual unsigned
+    nextBatch(MemRef *out, unsigned max)
+    {
+        (void)max;
+        return next(out[0]) ? 1u : 0u;
+    }
+
     /** Called after a reference completes, with the core's cycle. */
     virtual void completed(const MemRef &ref, Cycles now) { (void)ref;
                                                             (void)now; }

@@ -1,5 +1,6 @@
 #include "mem/cache.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.hh"
@@ -16,6 +17,7 @@ Cache::Cache(const CacheParams &params, stats::StatGroup *parent)
     bf_assert((num_sets_ & (num_sets_ - 1)) == 0,
               "cache ", params_.name, " set count not a power of two");
     lines_.resize(num_sets_ * params_.assoc);
+    key_.resize(num_sets_ * params_.assoc, 0);
 
     stat_group_.addStat("hits", &hits);
     stat_group_.addStat("misses", &misses);
@@ -27,11 +29,11 @@ Cache::Cache(const CacheParams &params, stats::StatGroup *parent)
 const Cache::Line *
 Cache::find(Addr line_num) const
 {
-    const std::uint64_t set = setIndex(line_num);
-    const Line *base = &lines_[set * params_.assoc];
+    const std::size_t base = setIndex(line_num) * params_.assoc;
+    const std::uint64_t want = packKey(line_num);
     for (unsigned way = 0; way < params_.assoc; ++way) {
-        if (base[way].valid && base[way].tag == line_num)
-            return &base[way];
+        if (key_[base + way] == want)
+            return &lines_[base + way];
     }
     return nullptr;
 }
@@ -86,6 +88,7 @@ Cache::insert(Addr line_addr, bool is_write, bool &evicted_dirty)
     victim->valid = true;
     victim->dirty = is_write;
     victim->lru = ++lru_clock_;
+    syncKey(static_cast<std::size_t>(victim - lines_.data()));
     return had_victim;
 }
 
@@ -93,38 +96,41 @@ bool
 Cache::accessAndFill(Addr line_addr, bool is_write, bool &evicted_dirty)
 {
     const Addr line_num = lineOf(line_addr);
-    const std::uint64_t set = setIndex(line_num);
-    Line *base = &lines_[set * params_.assoc];
+    const std::size_t base = setIndex(line_num) * params_.assoc;
+    const std::uint64_t want = packKey(line_num);
+    const unsigned assoc = params_.assoc;
 
-    // One pass answers the lookup and remembers the insert() victim:
-    // the first invalid way if any, else the minimum-LRU way.
-    Line *match = nullptr;
-    Line *invalid = nullptr;
-    Line *lru = &base[0];
-    for (unsigned way = 0; way < params_.assoc; ++way) {
-        Line &line = base[way];
-        if (line.valid) {
-            if (line.tag == line_num) {
-                match = &line;
-                break;
-            }
-            if (line.lru < lru->lru)
-                lru = &line;
-        } else if (!invalid) {
-            invalid = &line;
-        }
-    }
-
-    if (match) {
-        match->lru = ++lru_clock_;
-        match->dirty |= is_write;
+    // Hit scan over the packed shadow tags: the common case touches
+    // one or two cache lines of keys and only the matching Line.
+    for (unsigned way = 0; way < assoc; ++way) {
+        if (key_[base + way] != want)
+            continue;
+        Line &match = lines_[base + way];
+        match.lru = ++lru_clock_;
+        match.dirty |= is_write;
         ++hits;
         evicted_dirty = false;
         return true;
     }
     ++misses;
 
-    Line *victim = invalid ? invalid : lru;
+    // Miss: pick the insert() victim — first invalid way if any, else
+    // the minimum-LRU way — exactly as the historical one-pass scan.
+    Line *set_base = &lines_[base];
+    Line *victim = nullptr;
+    Line *lru = &set_base[0];
+    for (unsigned way = 0; way < assoc; ++way) {
+        Line &line = set_base[way];
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (line.lru < lru->lru)
+            lru = &line;
+    }
+    if (!victim)
+        victim = lru;
+
     const bool had_victim = victim->valid;
     evicted_dirty = had_victim && victim->dirty;
     if (had_victim) {
@@ -136,6 +142,7 @@ Cache::accessAndFill(Addr line_addr, bool is_write, bool &evicted_dirty)
     victim->valid = true;
     victim->dirty = is_write;
     victim->lru = ++lru_clock_;
+    syncKey(base + static_cast<std::size_t>(victim - set_base));
     return false;
 }
 
@@ -147,6 +154,7 @@ Cache::invalidate(Addr line_addr)
         return false;
     line->valid = false;
     line->dirty = false;
+    key_[static_cast<std::size_t>(line - lines_.data())] = 0;
     ++invalidations;
     return true;
 }
@@ -162,6 +170,7 @@ Cache::flush()
 {
     for (auto &line : lines_)
         line = Line{};
+    std::fill(key_.begin(), key_.end(), 0);
 }
 
 void
@@ -199,11 +208,13 @@ Cache::restore(snap::ArchiveReader &ar)
                                   "' checkpoint geometry mismatch");
     }
     lru_clock_ = ar.u64();
-    for (Line &line : lines_) {
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+        Line &line = lines_[i];
         line.tag = ar.u64();
         line.valid = ar.b();
         line.dirty = ar.b();
         line.lru = ar.u64();
+        syncKey(i);
     }
 }
 

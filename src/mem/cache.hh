@@ -126,8 +126,28 @@ class Cache
     std::uint64_t num_sets_;
     std::uint64_t set_mask_;        //!< num_sets_ - 1 (sets are pow2).
     std::vector<Line> lines_;       //!< num_sets_ * assoc, set-major.
+    /**
+     * SoA shadow tags: key_[i] = tag << 1 | valid, kept in sync with
+     * lines_ by every mutating path. The hit scans — by far the
+     * hottest loops in the whole simulator — compare one packed word
+     * per way instead of striding Line structs; lines_ stays
+     * authoritative for LRU/dirty payload and checkpointing.
+     */
+    std::vector<std::uint64_t> key_;
     std::uint64_t lru_clock_ = 0;
     stats::StatGroup stat_group_;
+
+    static std::uint64_t
+    packKey(Addr line_num)
+    {
+        return (line_num << 1) | 1u;
+    }
+
+    void
+    syncKey(std::size_t i)
+    {
+        key_[i] = lines_[i].valid ? packKey(lines_[i].tag) : 0;
+    }
 
     /**
      * Set selection. The constructor asserts num_sets_ is a power of

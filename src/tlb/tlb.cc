@@ -1,5 +1,7 @@
 #include "tlb/tlb.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 #include "common/snapshot.hh"
 
@@ -53,6 +55,8 @@ Tlb::Tlb(const TlbParams &params, stats::StatGroup *parent)
     sets_pow2_ = (num_sets_ & (num_sets_ - 1)) == 0;
     set_mask_ = num_sets_ - 1;
     entries_.resize(params_.entries);
+    key_.resize(params_.entries, 0);
+    id_.resize(params_.entries, 0);
 
     stat_group_.addStat("hits", &hits);
     stat_group_.addStat("misses", &misses);
@@ -66,22 +70,25 @@ TlbLookup
 Tlb::lookupConventional(Vpn vpn, Pcid pcid)
 {
     TlbLookup result;
-    TlbEntry *base = setBase(vpn);
+    const std::size_t base = setIndex(vpn) * params_.assoc;
+    // Shadow-key scan: valid + VPN in one compare (the owned bit is
+    // masked off — conventional lookups ignore it), PCID from the id
+    // word. The mismatching ways never touch the entry structs.
+    const std::uint64_t want = packKey(vpn, true);
     const unsigned assoc = params_.assoc;
     for (unsigned way = 0; way < assoc; ++way) {
-        TlbEntry &entry = base[way];
-        // VPN first: it is the most discriminating tag, so the common
-        // mismatching way costs one compare.
-        if (entry.vpn == vpn && entry.pcid == pcid && entry.valid) {
-            if (params_.policy == TlbParams::Policy::Lru)
-                entry.lru = ++lru_clock_;
-            result.entry = &entry;
-            result.shared_hit = entry.fill_pcid != pcid;
-            ++hits;
-            if (result.shared_hit)
-                ++shared_hits;
-            return result;
-        }
+        const std::size_t i = base + way;
+        if ((key_[i] | 2u) != want || (id_[i] >> 16) != pcid)
+            continue;
+        TlbEntry &entry = entries_[i];
+        if (params_.policy == TlbParams::Policy::Lru)
+            entry.lru = ++lru_clock_;
+        result.entry = &entry;
+        result.shared_hit = entry.fill_pcid != pcid;
+        ++hits;
+        if (result.shared_hit)
+            ++shared_hits;
+        return result;
     }
     ++misses;
     return result;
@@ -91,15 +98,18 @@ TlbLookup
 Tlb::lookupBabelFish(Vpn vpn, Ccid ccid, Pcid pcid, int process_bit)
 {
     TlbLookup result;
-    TlbEntry *base = setBase(vpn);
+    const std::size_t base = setIndex(vpn) * params_.assoc;
     TlbEntry *match = nullptr;
 
+    const std::uint64_t want = packKey(vpn, true);
     const unsigned assoc = params_.assoc;
     for (unsigned way = 0; way < assoc; ++way) {
-        TlbEntry &entry = base[way];
-        if (entry.vpn != vpn || entry.ccid != ccid || !entry.valid)
+        const std::size_t i = base + way;
+        const std::uint64_t key = key_[i];
+        if ((key | 2u) != want || (id_[i] & 0xffffu) != ccid)
             continue;                                   // step 1 of Fig. 8
-        if (entry.owned) {
+        TlbEntry &entry = entries_[i];
+        if (key & 2u) {                                 // owned
             if (entry.pcid == pcid) {                   // step 9
                 match = &entry;
                 break;                                  // owned hit wins
@@ -186,22 +196,34 @@ Tlb::fill(const TlbEntry &new_entry, bool shared_dedup)
     }
     if (!victim->valid)
         ++valid_count_;
+    else if (!victim->owned)
+        bucketRemove(victim->ccid);
     *victim = new_entry;
     victim->valid = true;
     victim->lru = ++lru_clock_;
+    if (!victim->owned)
+        bucketAdd(victim->ccid, victim->vpn);
+    syncKeys(static_cast<std::size_t>(victim - entries_.data()));
     ++fills;
 }
 
 void
 Tlb::invalidatePage(Pcid pcid, Vpn vpn)
 {
-    TlbEntry *base = setBase(vpn);
+    if (valid_count_ == 0)
+        return;
+    const std::size_t base = setIndex(vpn) * params_.assoc;
+    const std::uint64_t want = packKey(vpn, true);
     for (unsigned way = 0; way < params_.assoc; ++way) {
-        TlbEntry &entry = base[way];
-        if (entry.valid && entry.vpn == vpn && entry.pcid == pcid) {
-            entry.valid = false;
+        const std::size_t i = base + way;
+        const std::uint64_t key = key_[i];
+        if ((key | 2u) == want && (id_[i] >> 16) == pcid) {
+            entries_[i].valid = false;
+            key_[i] = 0;
             --valid_count_;
             ++invalidations;
+            if (!(key & 2u))
+                bucketRemove(static_cast<Ccid>(id_[i] & 0xffffu));
         }
     }
 }
@@ -209,34 +231,62 @@ Tlb::invalidatePage(Pcid pcid, Vpn vpn)
 void
 Tlb::invalidateSharedRange(Ccid ccid, Vpn first, std::uint64_t count)
 {
-    // Range shootdowns scan the whole structure: TLBs are small.
-    for (auto &entry : entries_) {
-        if (entry.valid && !entry.owned && entry.ccid == ccid &&
-            entry.vpn >= first && entry.vpn < first + count) {
-            entry.valid = false;
-            --valid_count_;
-            ++invalidations;
-        }
+    // Shootdowns are broadcast to every core; on most of them this
+    // structure holds nothing for the CCID (or nothing in the range),
+    // so the occupancy filter answers without scanning.
+    if (valid_count_ == 0)
+        return;
+    const CcidBucket &b = bucket(ccid);
+    if (b.count == 0 || first > b.vpn_max || first + count <= b.vpn_min)
+        return;
+    // Range shootdowns scan the whole structure — over the packed
+    // shadow keys, not the entry structs.
+    const std::size_t n = key_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t key = key_[i];
+        if ((key & 3u) != 1u)           // valid shared entries only
+            continue;
+        if ((id_[i] & 0xffffu) != ccid)
+            continue;
+        const Vpn vpn = key >> 2;
+        if (vpn < first || vpn >= first + count)
+            continue;
+        entries_[i].valid = false;
+        key_[i] = 0;
+        --valid_count_;
+        ++invalidations;
+        bucketRemove(ccid);
     }
 }
 
 void
 Tlb::invalidatePcid(Pcid pcid)
 {
-    for (auto &entry : entries_) {
-        if (entry.valid && entry.pcid == pcid) {
-            entry.valid = false;
-            --valid_count_;
-            ++invalidations;
-        }
+    if (valid_count_ == 0)
+        return;
+    const std::size_t n = key_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t key = key_[i];
+        if (!(key & 1u) || (id_[i] >> 16) != pcid)
+            continue;
+        entries_[i].valid = false;
+        key_[i] = 0;
+        --valid_count_;
+        ++invalidations;
+        if (!(key & 2u))
+            bucketRemove(static_cast<Ccid>(id_[i] & 0xffffu));
     }
 }
 
 void
 Tlb::invalidateAll()
 {
+    if (valid_count_ == 0)
+        return;
     for (auto &entry : entries_)
         entry.valid = false;
+    std::fill(key_.begin(), key_.end(), 0);
+    shared_buckets_.fill(CcidBucket{});
     valid_count_ = 0;
 }
 
@@ -245,9 +295,24 @@ Tlb::reset()
 {
     for (auto &entry : entries_)
         entry = TlbEntry{};
+    std::fill(key_.begin(), key_.end(), 0);
+    std::fill(id_.begin(), id_.end(), 0);
+    shared_buckets_.fill(CcidBucket{});
     valid_count_ = 0;
     lru_clock_ = 0;
     rng_state_ = policySeed();
+}
+
+void
+Tlb::rebuildShadow()
+{
+    shared_buckets_.fill(CcidBucket{});
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        syncKeys(i);
+        const TlbEntry &entry = entries_[i];
+        if (entry.valid && !entry.owned)
+            bucketAdd(entry.ccid, entry.vpn);
+    }
 }
 
 const TlbEntry *
@@ -366,6 +431,7 @@ Tlb::restore(snap::ArchiveReader &ar)
         entry.fill_pcid = ar.u16();
         entry.lru = ar.u64();
     }
+    rebuildShadow();
 }
 
 } // namespace bf::tlb

@@ -8,6 +8,7 @@
 #ifndef BF_TLB_TLB_HH
 #define BF_TLB_TLB_HH
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -126,6 +127,27 @@ class Tlb
     const TlbEntry *probe(Vpn vpn, Pcid pcid) const;
 
     /**
+     * @{
+     * @name L0 inline-cache stat replay (see core::Mmu)
+     * The Mmu's L0 front cache short-circuits a lookup it has proven
+     * (by re-validating the live entry) would hit this structure. These
+     * replay exactly the side effects the bypassed scan would have had:
+     * the LRU touch under the Lru policy, and the hit/miss counters.
+     */
+    void
+    recordL0Hit(TlbEntry *entry, bool shared)
+    {
+        if (params_.policy == TlbParams::Policy::Lru)
+            entry->lru = ++lru_clock_;
+        ++hits;
+        if (shared)
+            ++shared_hits;
+    }
+
+    void recordL0Miss() { ++misses; }
+    /** @} */
+
+    /**
      * Number of valid entries. O(1): a counter maintained by fill and
      * the invalidate paths; debug builds cross-check it against a full
      * scan.
@@ -164,10 +186,85 @@ class Tlb
     bool sets_pow2_ = false;
     unsigned valid_count_ = 0;
     std::vector<TlbEntry> entries_; //!< set-major.
+
+    /**
+     * @{
+     * @name SoA shadow keys
+     * One packed word per way, kept in sync with entries_ by every
+     * mutating path. Lookup and invalidation scans — above all the
+     * full-structure range shootdowns, which dominate host time —
+     * touch these dense arrays instead of striding 64-byte TlbEntry
+     * structs. entries_ stays authoritative (probe, save, payload).
+     */
+    /** key_[i] = vpn << 2 | owned << 1 | valid (0 when invalid). */
+    std::vector<std::uint64_t> key_;
+    /** id_[i] = pcid << 16 | ccid. */
+    std::vector<std::uint32_t> id_;
+    /** @} */
+
+    /**
+     * Occupancy filter for range shootdowns: per CCID hash bucket, the
+     * number of valid shared (Ownership-clear) entries plus a
+     * conservative VPN interval around them. Broadcast shootdowns for
+     * a CCID this structure holds nothing for — the overwhelmingly
+     * common case on remote cores — exit in O(1). The interval only
+     * widens on fill and snaps back when the bucket empties, so the
+     * test can only ever be conservative.
+     */
+    struct CcidBucket
+    {
+        std::uint32_t count = 0;
+        Vpn vpn_min = ~0ull;
+        Vpn vpn_max = 0;
+    };
+    std::array<CcidBucket, 64> shared_buckets_{};
+
     std::uint64_t lru_clock_ = 0;
     std::uint64_t rng_state_ = 0;   //!< Random-policy xorshift state.
 
     stats::StatGroup stat_group_;
+
+    static std::uint64_t
+    packKey(Vpn vpn, bool owned)
+    {
+        return (vpn << 2) | (owned ? 2u : 0u) | 1u;
+    }
+
+    CcidBucket &bucket(Ccid ccid) { return shared_buckets_[ccid & 63u]; }
+
+    void
+    bucketAdd(Ccid ccid, Vpn vpn)
+    {
+        CcidBucket &b = bucket(ccid);
+        ++b.count;
+        if (vpn < b.vpn_min)
+            b.vpn_min = vpn;
+        if (vpn > b.vpn_max)
+            b.vpn_max = vpn;
+    }
+
+    void
+    bucketRemove(Ccid ccid)
+    {
+        CcidBucket &b = bucket(ccid);
+        --b.count;
+        if (b.count == 0) {
+            b.vpn_min = ~0ull;
+            b.vpn_max = 0;
+        }
+    }
+
+    /** Write the shadow key/id words for entries_[i]. */
+    void
+    syncKeys(std::size_t i)
+    {
+        const TlbEntry &e = entries_[i];
+        key_[i] = e.valid ? packKey(e.vpn, e.owned) : 0;
+        id_[i] = (static_cast<std::uint32_t>(e.pcid) << 16) | e.ccid;
+    }
+
+    /** Rebuild every shadow key and occupancy bucket from entries_. */
+    void rebuildShadow();
 
     /**
      * Set selection. Unlike the caches, a TLB's set count is not

@@ -44,7 +44,7 @@ PageTablePage *
 Kernel::allocateTable(int level)
 {
     const Ppn frame = allocator_.allocate();
-    auto table = std::make_unique<PageTablePage>(level, frame);
+    auto table = table_pool_.make(level, frame);
     PageTablePage *raw = table.get();
     tables_[frame] = std::move(table);
     ++tables_allocated;
@@ -106,7 +106,7 @@ Kernel::createProcess(Ccid ccid, const std::string &name)
     const Pcid pcid = next_pcid_++ & 0xfff;
     PageTablePage *pgd = allocateTable(LevelPgd);
 
-    auto proc = std::make_unique<Process>(pid, pcid, ccid, name, pgd);
+    auto proc = process_pool_.make(pid, pcid, ccid, name, pgd);
     if (params_.aslr == AslrMode::Hw) {
         proc->aslr_offsets =
             AslrOffsets::randomize(group.aslr_seed ^ (0x5bd1e995ull * pid));
@@ -439,8 +439,7 @@ Kernel::privatizeLeafTable(Process &proc, Addr va,
 
     auto &mask_ptr = group.masks[mask_region];
     if (!mask_ptr) {
-        mask_ptr = std::make_unique<MaskPage>(allocator_.allocate(),
-                                              mask_region);
+        mask_ptr = mask_pool_.make(allocator_.allocate(), mask_region);
     }
     MaskPage &mask = *mask_ptr;
 
@@ -1391,7 +1390,7 @@ Kernel::restore(snap::ArchiveReader &ar)
     for (std::uint32_t t = 0; t < table_count; ++t) {
         const Ppn frame = ar.u64();
         const int level = ar.u8();
-        auto table = std::make_unique<PageTablePage>(level, frame);
+        auto table = table_pool_.make(level, frame);
         table->sharers = ar.u16();
         table->group_shared = ar.b();
         for (unsigned i = 0; i < entriesPerTable; ++i)
@@ -1472,7 +1471,7 @@ Kernel::restore(snap::ArchiveReader &ar)
         for (std::uint32_t m = 0; m < mask_count; ++m) {
             const Addr region_base = ar.u64();
             const Ppn frame = ar.u64();
-            auto mask = std::make_unique<MaskPage>(frame, region_base);
+            auto mask = mask_pool_.make(frame, region_base);
             std::array<std::uint32_t, entriesPerTable> bitmasks;
             for (auto &bits : bitmasks)
                 bits = ar.u32();

@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/object_pool.hh"
 #include "common/stats.hh"
 #include "common/trace/trace.hh"
 #include "common/types.hh"
@@ -350,7 +351,7 @@ class Kernel
         std::uint64_t aslr_seed = 0;
         std::vector<Pid> members;
         std::map<SharedTableKey, SharedTableRecord> shared_tables;
-        std::map<Addr, std::unique_ptr<MaskPage>> masks; //!< By region base.
+        std::map<Addr, PoolPtr<MaskPage>> masks; //!< By region base.
         std::map<Addr, bool> mask_fallback; //!< Regions past 32 writers.
         /**
          * Bumped whenever mask/PC-bitmask bookkeeping that can change a
@@ -365,15 +366,27 @@ class Kernel
     KernelParams params_;
     stats::StatGroup stat_group_;
     FrameAllocator allocator_;
+
+    /**
+     * @{
+     * @name Object pools (common/object_pool.hh)
+     * Declared before every container that stores PoolPtr handles:
+     * members destroy in reverse declaration order, so the containers
+     * release their objects while the pools are still alive.
+     */
+    ObjectPool<PageTablePage> table_pool_;
+    ObjectPool<MaskPage> mask_pool_;
+    ObjectPool<Process> process_pool_;
+    /** @} */
     Pid next_pid_ = 100;
     Pcid next_pcid_ = 1;
     Ccid next_ccid_ = 1;
     std::uint64_t next_object_id_ = 1;
 
-    std::map<Pid, std::unique_ptr<Process>> processes_;
+    std::map<Pid, PoolPtr<Process>> processes_;
     std::map<Ccid, Group> groups_;
     std::vector<std::unique_ptr<MappedObject>> objects_;
-    std::unordered_map<Ppn, std::unique_ptr<PageTablePage>> tables_;
+    std::unordered_map<Ppn, PoolPtr<PageTablePage>> tables_;
     TlbInvalidateFn tlb_hook_;
     trace::Tracer *tracer_ = nullptr;
 

@@ -187,7 +187,7 @@ buildApp(vm::Kernel &kernel, const AppProfile &profile,
          unsigned num_containers, std::uint64_t seed)
 {
     AppInstance inst;
-    inst.profile = &profile;
+    inst.profile = profile;
     inst.ccid = kernel.createGroup(profile.name, seed);
     inst.image = std::make_unique<ContainerImage>(kernel, profile.name,
                                                   profile.image);
@@ -622,7 +622,7 @@ std::vector<std::unique_ptr<core::Thread>>
 makeAppThreads(const AppInstance &instance, std::uint64_t seed)
 {
     std::vector<std::unique_ptr<core::Thread>> threads;
-    const AppProfile &profile = *instance.profile;
+    const AppProfile &profile = instance.profile;
     std::uint64_t i = 0;
     for (vm::Process *proc : instance.containers) {
         const std::uint64_t tseed = seed + 0x1234567 * ++i;

@@ -118,7 +118,8 @@ struct AppProfile
 struct AppInstance
 {
     Ccid ccid = invalidCcid;
-    const AppProfile *profile = nullptr;
+    /** Held by value: callers routinely pass buildApp a temporary. */
+    AppProfile profile;
     std::unique_ptr<ContainerImage> image;
     vm::MappedObject *dataset = nullptr;
     vm::Process *runtime = nullptr;         //!< The container runtime.
@@ -174,6 +175,28 @@ class QueueThread : public core::Thread
         ref = queue_.front();
         queue_.pop_front();
         return true;
+    }
+
+    /**
+     * Batched pull: refill once if the queue is empty, then drain up to
+     * @p max queued references. Stops at the queue boundary instead of
+     * refilling mid-batch, so the next refill() still runs only after
+     * the core has delivered every completion of this batch — the
+     * refill-vs-completed() ordering (which FunctionThread's phase
+     * machine depends on) is exactly that of repeated next() calls.
+     */
+    unsigned
+    nextBatch(core::MemRef *out, unsigned max) override
+    {
+        if (queue_.empty())
+            refill();
+        unsigned n = 0;
+        while (n < max && !queue_.empty()) {
+            out[n] = queue_.front();
+            queue_.pop_front();
+            ++n;
+        }
+        return n;
     }
 
   protected:

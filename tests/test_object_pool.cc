@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the freelist-backed ObjectPool (common/object_pool.hh) the
+ * kernel uses for page-table pages, MaskPages and processes: slot
+ * recycling must be LIFO (hot reuse), recycled slots must be freshly
+ * constructed (no state leaks across lives), PoolPtr must release on
+ * scope exit, and growth must happen in whole chunks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/object_pool.hh"
+
+using namespace bf;
+
+namespace
+{
+
+/** Instrumented payload: counts constructions and destructions. */
+struct Tracked
+{
+    static int ctors;
+    static int dtors;
+
+    int value;
+    std::string tag;
+
+    Tracked(int v, std::string t) : value(v), tag(std::move(t))
+    {
+        ++ctors;
+    }
+    ~Tracked() { ++dtors; }
+};
+
+int Tracked::ctors = 0;
+int Tracked::dtors = 0;
+
+struct PoolTest : ::testing::Test
+{
+    void SetUp() override { Tracked::ctors = Tracked::dtors = 0; }
+};
+
+} // namespace
+
+TEST_F(PoolTest, AcquireConstructsReleaseDestroys)
+{
+    ObjectPool<Tracked> pool;
+    Tracked *t = pool.acquire(7, "a");
+    EXPECT_EQ(t->value, 7);
+    EXPECT_EQ(t->tag, "a");
+    EXPECT_EQ(Tracked::ctors, 1);
+    EXPECT_EQ(pool.liveCount(), 1u);
+    pool.release(t);
+    EXPECT_EQ(Tracked::dtors, 1);
+    EXPECT_EQ(pool.liveCount(), 0u);
+}
+
+TEST_F(PoolTest, LifoReuseReturnsHotSlotFreshlyConstructed)
+{
+    ObjectPool<Tracked> pool;
+    Tracked *first = pool.acquire(1, "first");
+    pool.release(first);
+    // The freed slot comes back immediately (LIFO), fully re-run
+    // through the constructor — no state from the previous life.
+    Tracked *second = pool.acquire(2, "second");
+    EXPECT_EQ(second, first);
+    EXPECT_EQ(second->value, 2);
+    EXPECT_EQ(second->tag, "second");
+    EXPECT_EQ(Tracked::ctors, 2);
+    EXPECT_EQ(Tracked::dtors, 1);
+    pool.release(second);
+}
+
+TEST_F(PoolTest, GrowthHappensInWholeChunks)
+{
+    ObjectPool<Tracked> pool(/*chunk_objects=*/4);
+    std::vector<Tracked *> live;
+    for (int i = 0; i < 5; ++i)
+        live.push_back(pool.acquire(i, "x"));
+    EXPECT_EQ(pool.liveCount(), 5u);
+    EXPECT_EQ(pool.capacity(), 8u); // two 4-slot chunks
+    for (Tracked *t : live)
+        pool.release(t);
+    EXPECT_EQ(pool.liveCount(), 0u);
+    EXPECT_EQ(pool.capacity(), 8u); // memory is kept, not returned
+}
+
+TEST_F(PoolTest, PoolPtrReleasesOnScopeExit)
+{
+    ObjectPool<Tracked> pool;
+    Tracked *raw = nullptr;
+    {
+        PoolPtr<Tracked> p = pool.make(9, "owned");
+        raw = p.get();
+        EXPECT_EQ(pool.liveCount(), 1u);
+    }
+    EXPECT_EQ(pool.liveCount(), 0u);
+    EXPECT_EQ(Tracked::dtors, 1);
+    // The slot is back on the freelist.
+    PoolPtr<Tracked> q = pool.make(10, "next");
+    EXPECT_EQ(q.get(), raw);
+}
+
+TEST_F(PoolTest, MoveOfPoolPtrTransfersOwnership)
+{
+    ObjectPool<Tracked> pool;
+    PoolPtr<Tracked> a = pool.make(1, "m");
+    PoolPtr<Tracked> b = std::move(a);
+    EXPECT_EQ(a.get(), nullptr);
+    EXPECT_EQ(pool.liveCount(), 1u);
+    b.reset();
+    EXPECT_EQ(pool.liveCount(), 0u);
+    EXPECT_EQ(Tracked::ctors, 1);
+    EXPECT_EQ(Tracked::dtors, 1);
+}
+
+TEST_F(PoolTest, InterleavedChurnKeepsCountsConsistent)
+{
+    ObjectPool<Tracked> pool(/*chunk_objects=*/8);
+    std::vector<Tracked *> live;
+    // Sawtooth alloc/free pattern like container bring-up/teardown.
+    for (int round = 0; round < 10; ++round) {
+        for (int i = 0; i < 12; ++i)
+            live.push_back(pool.acquire(i, "churn"));
+        for (int i = 0; i < 6; ++i) {
+            pool.release(live.back());
+            live.pop_back();
+        }
+    }
+    EXPECT_EQ(pool.liveCount(), live.size());
+    EXPECT_EQ(Tracked::ctors - Tracked::dtors,
+              static_cast<int>(live.size()));
+    // Capacity covers the high-water mark, in whole chunks.
+    EXPECT_GE(pool.capacity(), live.size());
+    EXPECT_EQ(pool.capacity() % 8, 0u);
+    for (Tracked *t : live)
+        pool.release(t);
+    EXPECT_EQ(Tracked::ctors, Tracked::dtors);
+}

@@ -88,6 +88,41 @@ TEST(ParallelSystem, WorkersByteIdentical)
     EXPECT_EQ(w1.stats_json, w4.stats_json);
 }
 
+// Work stealing: a deliberately skewed placement — most containers
+// piled onto core 0, the rest nearly idle — makes the static split
+// maximally unbalanced, so idle stripes steal from core 0's block on
+// every chunk. Which host thread simulates a core must not matter:
+// the stats tree stays byte-identical at every worker count.
+TEST(ParallelSystem, UnevenLoadStealingByteIdentical)
+{
+    const auto run = [](unsigned workers) {
+        SystemParams params = SystemParams::babelfish();
+        params.num_cores = 4;
+        params.workers = workers;
+        params.sync_chunk = 20000;
+        params.kernel.mem_frames = 1 << 22;
+        params.core.quantum = msToCycles(0.25);
+        System sys(params);
+
+        const unsigned n = 8;
+        auto app = workloads::buildApp(sys.kernel(),
+                                       workloads::AppProfile::mongodb(),
+                                       n, 31);
+        auto threads = workloads::makeAppThreads(app, 31);
+        // Five containers on core 0, one each on cores 1-3.
+        for (unsigned i = 0; i < n; ++i)
+            sys.addThread(i < 5 ? 0 : i - 4, threads[i].get());
+
+        sys.run(msToCycles(1));
+        sys.resetStats();
+        sys.run(msToCycles(2));
+        return stats::toJsonString(sys.stats());
+    };
+    const std::string w1 = run(1);
+    EXPECT_EQ(w1, run(2));
+    EXPECT_EQ(w1, run(4));
+}
+
 // Workers are clamped to the core count; an oversized request behaves
 // like workers == num_cores and still matches the serial tree.
 TEST(ParallelSystem, OversubscribedWorkersClamped)

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -233,6 +234,123 @@ TEST(MaskGeneration, MmuCacheDoesNotGoStaleAcrossPrivatization)
     // Fresh walk, no shared hit: the invalidated cache answered 0.
     EXPECT_EQ(f.mmu.walker().walks.value(), walks_before + 1);
     EXPECT_EQ(f.mmu.l2_data_shared_hits.value(), shared_before);
+}
+
+// ---------------------------------------------------------------------------
+// The L0 inline translation cache in front of the L1 TLBs (mmu.hh).
+// An L0 hit must be indistinguishable from the 1-cycle L1 hit it
+// short-circuits, and every coherence event — shootdown, CoW
+// privatization, mask-bit change — must drop the fast path.
+
+TEST(L0InlineCache, RepeatHitIsOneCycleAndFoldsIntoL1Stats)
+{
+    MmuFixture f;
+    f.mmu.translate(*f.a, kVa, AccessType::Read, 0); // fault + fill
+    // Slow-path L1 hit: installs the L0 slot.
+    const auto t1 = f.mmu.translate(*f.a, kVa, AccessType::Read, 100);
+    const auto hits_before = f.mmu.l1_hits.value();
+    const auto misses_before = f.mmu.l1_misses.value();
+    // L0 hit: same cycles, same paddr, same counters as an L1 hit.
+    const auto t2 = f.mmu.translate(*f.a, kVa, AccessType::Read, 200);
+    EXPECT_EQ(t2.cycles, 1u);
+    EXPECT_EQ(t2.paddr, t1.paddr);
+    EXPECT_EQ(f.mmu.l1_hits.value(), hits_before + 1);
+    EXPECT_EQ(f.mmu.l1_misses.value(), misses_before);
+}
+
+TEST(L0InlineCache, ShootdownDropsTheFastPath)
+{
+    MmuFixture f;
+    f.mmu.translate(*f.a, kVa, AccessType::Read, 0);
+    f.mmu.translate(*f.a, kVa, AccessType::Read, 100); // L0 warm
+    const auto walks_before = f.mmu.walker().walks.value();
+    f.mmu.applyInvalidate({vm::TlbInvalidate::Kind::Page, f.a->ccid(),
+                           f.a->pcid(), kVa >> 12, 1, PageSize::Size4K});
+    // The invalidated page must take a fresh walk — a stale L0 hit
+    // would answer in 1 cycle without one.
+    const auto t = f.mmu.translate(*f.a, kVa, AccessType::Read, 200);
+    EXPECT_FALSE(t.faulted);
+    EXPECT_GT(t.cycles, 1u);
+    EXPECT_EQ(f.mmu.walker().walks.value(), walks_before + 1);
+}
+
+TEST(L0InlineCache, CowPrivatizationInvalidatesStaleTranslation)
+{
+    MmuFixture f;
+    // Both processes read the shared page; b's repeats come from L0.
+    f.mmu.translate(*f.a, kVa, AccessType::Read, 0);
+    f.mmu.translate(*f.b, kVa, AccessType::Read, 100);
+    const Addr shared_pa =
+        f.mmu.translate(*f.b, kVa, AccessType::Read, 200).paddr;
+    // b CoW-writes: privatization assigns b's mask bit and shoots the
+    // stale mapping down. b's next read must see the private frame,
+    // never the L0's remembered shared one.
+    f.mmu.translate(*f.b, kVa, AccessType::Write, 300);
+    EXPECT_EQ(f.kernel.cow_privatizations.value(), 1u);
+    EXPECT_EQ(f.kernel.processBit(*f.b, kVa), 0);
+    const auto t = f.mmu.translate(*f.b, kVa, AccessType::Read, 400);
+    EXPECT_NE(t.paddr, shared_pa);
+}
+
+TEST(L0InlineCache, StatsEquivalentWithL0Disabled)
+{
+    // The architectural-identity pin: one scripted sequence covering
+    // repeat hits, cross-process sharing, a CoW privatization (which
+    // changes b's mask bit mid-stream) and an explicit shared-range
+    // shootdown, run with the L0 enabled and disabled (BF_NO_L0,
+    // sampled at Mmu construction). Every counter and every returned
+    // latency/paddr must match exactly.
+    struct Probe
+    {
+        std::uint64_t l1_hits, l1_misses, l2_hits, l2_misses, walks;
+        std::uint64_t cow, minor, sig;
+        bool operator==(const Probe &o) const
+        {
+            return l1_hits == o.l1_hits && l1_misses == o.l1_misses &&
+                   l2_hits == o.l2_hits && l2_misses == o.l2_misses &&
+                   walks == o.walks && cow == o.cow && minor == o.minor &&
+                   sig == o.sig;
+        }
+    };
+    const auto run = [](bool no_l0) {
+        if (no_l0)
+            ::setenv("BF_NO_L0", "1", 1);
+        MmuFixture f;
+        if (no_l0)
+            ::unsetenv("BF_NO_L0");
+        std::uint64_t sig = 0;
+        Cycles now = 0;
+        const auto touch = [&](vm::Process &p, Addr va, AccessType ty) {
+            const auto t = f.mmu.translate(p, va, ty, now += 50);
+            sig = sig * 1315423911ull + t.paddr + t.cycles * 7 +
+                  (t.faulted ? 3 : 0);
+        };
+        for (int rep = 0; rep < 3; ++rep) {
+            for (int i = 0; i < 16; ++i) {
+                touch(*f.a, kVa + i * 4096, AccessType::Read);
+                touch(*f.b, kVa + i * 4096, AccessType::Read);
+            }
+        }
+        touch(*f.b, kVa, AccessType::Write); // privatize + mask bit
+        for (int i = 0; i < 16; ++i) {
+            touch(*f.a, kVa + i * 4096, AccessType::Read);
+            touch(*f.b, kVa + i * 4096, AccessType::Read);
+        }
+        f.mmu.applyInvalidate({vm::TlbInvalidate::Kind::SharedRange,
+                               f.a->ccid(), 0, kVa >> 12, 16,
+                               PageSize::Size4K});
+        for (int i = 0; i < 16; ++i) {
+            touch(*f.a, kVa + i * 4096, AccessType::Read);
+            touch(*f.b, kVa + i * 4096, AccessType::Read);
+        }
+        return Probe{f.mmu.l1_hits.value(), f.mmu.l1_misses.value(),
+                     f.mmu.l2_data_hits.value(),
+                     f.mmu.l2_data_misses.value(),
+                     f.mmu.walker().walks.value(),
+                     f.mmu.cow_faults.value(), f.mmu.minor_faults.value(),
+                     sig};
+    };
+    EXPECT_TRUE(run(false) == run(true));
 }
 
 // ---------------------------------------------------------------------------

@@ -16,6 +16,9 @@ Ignored fields, by design:
                          are identical across BF_WORKERS by
                          construction — that is the determinism this
                          check enforces)
+  - config.batch        (core prefetch batching, BF_BATCH; a host-side
+                         pull-ahead of the per-thread reference streams
+                         with stats identical at any value)
   - host, notes         (host wall-clock / sim-MIPS and bookkeeping)
   - series              (present for completeness; compared when both
                          sides have it)
@@ -49,7 +52,7 @@ import tempfile
 
 # Top-level keys that describe the host, not the modeled machine.
 IGNORED_TOP_LEVEL = ("schema_version", "host", "notes")
-IGNORED_CONFIG_KEYS = ("jobs", "workers")
+IGNORED_CONFIG_KEYS = ("jobs", "workers", "batch")
 
 PINNED_ENV = {
     "BF_FAST": "1",
