@@ -2,17 +2,20 @@
  * @file
  * Microbenchmarks (google-benchmark) of the simulator's hot components:
  * TLB lookups (conventional vs BabelFish), cache and DRAM accesses,
- * page walks, fault handling, and fork. These quantify the cost of the
- * BabelFish lookup logic in the model and keep the simulator's own
- * performance in check.
+ * page walks, fault handling, fork, and the weave machinery (ladder
+ * merge vs the sort it replaced, pooled vs fresh epoch-log buffers).
+ * These quantify the cost of the BabelFish lookup logic in the model
+ * and keep the simulator's own performance in check.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "bench/common.hh"
 #include "common/object_pool.hh"
+#include "core/epoch.hh"
 #include "core/mmu.hh"
 #include "mem/hierarchy.hh"
 #include "tlb/page_walker.hh"
@@ -354,6 +357,149 @@ BM_HeapChurn(benchmark::State &state)
         delete obj;
 }
 BENCHMARK(BM_HeapChurn);
+
+/**
+ * Per-core epoch logs shaped like one sync chunk of an 8-core run:
+ * monotonic per-core timestamps with irregular strides, ~1/4 writes,
+ * ~1/8 walker events, scattered paddrs. Shared fixture for the merge
+ * and pooling microbenches.
+ */
+std::vector<std::unique_ptr<core::EpochLog>>
+makeEpochLogs(unsigned cores, std::size_t events_per_core)
+{
+    std::vector<std::unique_ptr<core::EpochLog>> logs;
+    std::uint64_t rng = 0x2545F4914F6CDD1Dull;
+    for (unsigned c = 0; c < cores; ++c) {
+        auto log = std::make_unique<core::EpochLog>();
+        Cycles ts = 1000 + 37 * c;
+        for (std::size_t i = 0; i < events_per_core; ++i) {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            ts += 1 + (rng % 40);
+            const Addr paddr = (rng >> 8) % (1ull << 32) & ~Addr{63};
+            const auto type = (rng & 3) == 0 ? AccessType::Write
+                                             : AccessType::Read;
+            log->appendAccess(ts, paddr, type, (rng & 7) == 0);
+        }
+        logs.push_back(std::move(log));
+    }
+    return logs;
+}
+
+constexpr unsigned kMergeCores = 8;
+constexpr std::size_t kMergeEvents = 4096; //!< Per core, one chunk's worth.
+
+void
+BM_EpochMergeLadder(benchmark::State &state)
+{
+    const auto logs = makeEpochLogs(kMergeCores, kMergeEvents);
+    core::WeaveStream out;
+    for (auto _ : state) {
+        out.clear();
+        core::mergeEpochLogs(logs, out, true);
+        benchmark::DoNotOptimize(out.ts.data());
+    }
+    state.SetItemsProcessed(state.iterations() * kMergeCores *
+                            kMergeEvents);
+}
+BENCHMARK(BM_EpochMergeLadder);
+
+void
+BM_EpochMergeSort(benchmark::State &state)
+{
+    // The pre-ladder merge this PR replaced: gather every event into one
+    // keyed array, std::sort by (ts, core, seq), then emit. Kept as the
+    // "before" model so the ladder's win stays measurable.
+    const auto logs = makeEpochLogs(kMergeCores, kMergeEvents);
+    struct Key
+    {
+        Cycles ts;
+        std::uint32_t core;
+        std::uint32_t seq;
+    };
+    std::vector<Key> keys;
+    core::WeaveStream out;
+    for (auto _ : state) {
+        keys.clear();
+        for (unsigned c = 0; c < kMergeCores; ++c) {
+            for (std::size_t i = 0; i < logs[c]->size(); ++i)
+                keys.push_back({logs[c]->ts(i), c,
+                                static_cast<std::uint32_t>(i)});
+        }
+        std::sort(keys.begin(), keys.end(),
+                  [](const Key &a, const Key &b) {
+                      if (a.ts != b.ts)
+                          return a.ts < b.ts;
+                      if (a.core != b.core)
+                          return a.core < b.core;
+                      return a.seq < b.seq;
+                  });
+        out.clear();
+        for (const Key &k : keys) {
+            const core::EpochLog &log = *logs[k.core];
+            const std::uint8_t flags = log.flags(k.seq);
+            if (flags & core::EpochLog::flagWrite) {
+                out.probe_paddr.push_back(log.paddr(k.seq));
+                out.probe_core.push_back(
+                    static_cast<std::uint8_t>(k.core));
+            }
+            if (!(flags & core::EpochLog::flagProbe)) {
+                out.ts.push_back(k.ts);
+                out.paddr.push_back(log.paddr(k.seq));
+                out.core.push_back(static_cast<std::uint8_t>(k.core));
+                out.flags.push_back(flags);
+            }
+        }
+        benchmark::DoNotOptimize(out.ts.data());
+    }
+    state.SetItemsProcessed(state.iterations() * kMergeCores *
+                            kMergeEvents);
+}
+BENCHMARK(BM_EpochMergeSort);
+
+void
+BM_EpochLogPooled(benchmark::State &state)
+{
+    // Steady-state chunk loop: clearEvents() keeps the lane capacity, so
+    // every append after the first lap is a pure store.
+    core::EpochLog log;
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        log.clearEvents();
+        for (std::size_t e = 0; e < kMergeEvents; ++e) {
+            log.appendAccess(1000 + e, (i + e) * 64,
+                             (e & 3) == 0 ? AccessType::Write
+                                          : AccessType::Read,
+                             false);
+        }
+        benchmark::DoNotOptimize(log.size());
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations() * kMergeEvents);
+}
+BENCHMARK(BM_EpochLogPooled);
+
+void
+BM_EpochLogFresh(benchmark::State &state)
+{
+    // The allocation-per-chunk baseline the pooling replaced: fresh lane
+    // vectors every round, growing from empty.
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        core::EpochLog log;
+        for (std::size_t e = 0; e < kMergeEvents; ++e) {
+            log.appendAccess(1000 + e, (i + e) * 64,
+                             (e & 3) == 0 ? AccessType::Write
+                                          : AccessType::Read,
+                             false);
+        }
+        benchmark::DoNotOptimize(log.size());
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations() * kMergeEvents);
+}
+BENCHMARK(BM_EpochLogFresh);
 
 void
 BM_CacheHierarchyAccess(benchmark::State &state)

@@ -34,6 +34,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/trace/trace.hh"
@@ -174,7 +175,7 @@ main()
             while (file_reader.nextBlock(block))
                 blocks.push_back(block);
         }
-        const replay::ReplaySchedule schedule(header, blocks);
+        const replay::ReplaySchedule schedule(header, std::move(blocks));
 
         // 2. Fidelity gate: replay at the recording configuration.
         const replay::ReplayParams recording =

@@ -12,16 +12,30 @@
  * The golden-stats check (tools/check_golden_stats.py) enforces the
  * complement: the architectural stats must not move at all.
  *
+ * Each row also reports the per-phase host-time breakdown of the chunk
+ * loop (System::phaseTimes): bound dispatch, fault service, canonical
+ * merge, weave replay. That is the Amdahl decomposition for the
+ * parallel knobs — BF_WORKERS scales only the bound share and
+ * BF_WEAVE_WORKERS only the weave share — and lands in the JSON host
+ * rows as the additive "phases" object (schema v3).
+ *
  * Environment knobs (on top of bench/common.hh's):
  *   BF_REPEAT=n         time each workload n times, keep the fastest
  *                       (default 1; use 3+ for recorded numbers).
  *   BF_BASELINE=path    a prior BENCH_simspeed.json whose metrics
- *                       .sim_mips is the baseline for the speedup note.
- *   BF_BASELINE_MIPS=x  numeric baseline override (wins over
- *                       BF_BASELINE).
+ *                       .sim_mips is the baseline for the speedup note;
+ *                       its host rows are the per-workload baselines.
+ *   BF_BASELINE_MIPS=x  numeric aggregate override (wins over
+ *                       BF_BASELINE; carries no per-row baselines).
  *   BF_MIPS_GUARD=f     regression gate: exit 1 if the aggregate falls
  *                       below f x baseline (e.g. 0.85 = fail on a >15%
  *                       drop). No-op without a baseline.
+ *   BF_MIPS_GUARD_ROW=f per-workload floor as a fraction of that row's
+ *                       baseline sim_mips (default 0.80 whenever
+ *                       BF_MIPS_GUARD is active and BF_BASELINE
+ *                       supplied rows; 0 disables). Catches a workload
+ *                       regressing behind an aggregate that other rows'
+ *                       gains keep green.
  * Without a baseline the speedup note is omitted — there is no
  * hard-coded reference value, so numbers from different machines never
  * get compared silently.
@@ -48,17 +62,41 @@ namespace
 {
 
 /**
- * Baseline aggregate sim-MIPS from a prior BENCH_simspeed.json given
- * via BF_BASELINE: the value of the "sim_mips" key (the report writer
- * emits it once, in metrics). Returns 0 when unset or unparsable.
+ * Baselines parsed from a prior BENCH_simspeed.json (BF_BASELINE):
+ * the aggregate metrics "sim_mips" plus the per-workload sim-MIPS of
+ * every host row, for the per-row guard floors.
  */
-double
-baselineFromFile(const char *path)
+struct Baseline
 {
+    double aggregate_mips = 0;
+    std::vector<std::pair<std::string, double>> row_mips;
+
+    /** Baseline sim-MIPS of a host row, or 0 when absent. */
+    double
+    rowMips(const std::string &label) const
+    {
+        for (const auto &[row, mips] : row_mips) {
+            if (row == label)
+                return mips;
+        }
+        return 0;
+    }
+};
+
+/**
+ * Parse BF_BASELINE. The aggregate is the first "sim_mips" in the file
+ * (the metrics section precedes the host rows in the schema); a host
+ * row's value follows its '"<label>":{"host_seconds":' opener. Returns
+ * zeros for unreadable files so the guards degrade to no-ops.
+ */
+Baseline
+baselineFromFile(const char *path, const std::vector<std::string> &labels)
+{
+    Baseline base;
     std::ifstream in(path);
     if (!in) {
         std::fprintf(stderr, "BF_BASELINE: cannot read %s\n", path);
-        return 0;
+        return base;
     }
     std::stringstream buf;
     buf << in.rdbuf();
@@ -67,16 +105,29 @@ baselineFromFile(const char *path)
     const auto pos = text.find(key);
     if (pos == std::string::npos) {
         std::fprintf(stderr, "BF_BASELINE: no sim_mips in %s\n", path);
-        return 0;
+        return base;
     }
-    return std::atof(text.c_str() + pos + key.size());
+    base.aggregate_mips = std::atof(text.c_str() + pos + key.size());
+    for (const auto &label : labels) {
+        const std::string row_key = "\"" + label + "\":{\"host_seconds\":";
+        const auto row = text.find(row_key);
+        if (row == std::string::npos)
+            continue;
+        const auto mips = text.find(key, row + row_key.size());
+        if (mips == std::string::npos)
+            continue;
+        base.row_mips.emplace_back(
+            label, std::atof(text.c_str() + mips + key.size()));
+    }
+    return base;
 }
 
-/** One timed simulation: host seconds and simulated instructions. */
+/** One timed simulation: host seconds, instructions, phase breakdown. */
 struct SpeedSample
 {
     double host_seconds = 0;
     std::uint64_t instructions = 0;
+    core::System::PhaseTimes phases{};
 
     double
     mips() const
@@ -84,6 +135,15 @@ struct SpeedSample
         return host_seconds > 0
                    ? static_cast<double>(instructions) / host_seconds / 1e6
                    : 0;
+    }
+
+    void
+    addPhases(const SpeedSample &other)
+    {
+        phases.bound_seconds += other.phases.bound_seconds;
+        phases.fault_seconds += other.phases.fault_seconds;
+        phases.merge_seconds += other.phases.merge_seconds;
+        phases.weave_seconds += other.phases.weave_seconds;
     }
 };
 
@@ -109,6 +169,7 @@ timeApp(const workloads::AppProfile &profile, core::SystemParams params,
     SpeedSample s;
     s.host_seconds = std::chrono::duration<double>(t1 - t0).count();
     s.instructions = sys.totalInstructions();
+    s.phases = sys.phaseTimes();
     return s;
 }
 
@@ -141,6 +202,7 @@ timeFaas(core::SystemParams params, bool sparse, const RunConfig &cfg)
     SpeedSample s;
     s.host_seconds = std::chrono::duration<double>(t1 - t0).count();
     s.instructions = sys.totalInstructions();
+    s.phases = sys.phaseTimes();
     return s;
 }
 
@@ -168,11 +230,6 @@ main()
     unsigned repeats = 1;
     if (const char *r = std::getenv("BF_REPEAT"))
         repeats = std::max(1, std::atoi(r));
-    double baseline_mips = 0;
-    if (const char *b = std::getenv("BF_BASELINE"))
-        baseline_mips = baselineFromFile(b);
-    if (const char *b = std::getenv("BF_BASELINE_MIPS"))
-        baseline_mips = std::atof(b);
 
     BenchReport report("simspeed");
     reportConfig(report, cfg);
@@ -202,52 +259,103 @@ main()
         return timeFaas(core::SystemParams::babelfish(), true, cfg);
     } });
 
+    std::vector<std::string> labels;
+    for (const auto &cell : cells)
+        labels.push_back(cell.label);
+
+    Baseline base;
+    if (const char *b = std::getenv("BF_BASELINE"))
+        base = baselineFromFile(b, labels);
+    if (const char *b = std::getenv("BF_BASELINE_MIPS")) {
+        base.aggregate_mips = std::atof(b);
+        base.row_mips.clear(); // numeric override carries no rows
+    }
+
     std::printf("Simulation speed — host throughput of the Fig. 11 mix "
                 "(%u cores, best of %u)\n", cfg.num_cores, repeats);
     rule();
-    std::printf("%-12s %14s %12s %12s\n", "workload", "sim Minstr",
-                "host sec", "sim MIPS");
+    std::printf("%-12s %12s %10s %10s %8s %8s %8s %8s\n", "workload",
+                "sim Minstr", "host sec", "sim MIPS", "bound", "fault",
+                "merge", "weave");
     rule();
 
     SpeedSample total;
+    std::vector<std::pair<std::string, SpeedSample>> rows;
     for (const auto &cell : cells) {
         const SpeedSample s = best(repeats, cell.run);
-        std::printf("%-12s %14.2f %12.3f %12.2f\n", cell.label.c_str(),
-                    s.instructions / 1e6, s.host_seconds, s.mips());
-        report.host(cell.label, s.host_seconds, s.mips());
+        const auto &ph = s.phases;
+        std::printf("%-12s %12.2f %10.3f %10.2f %8.3f %8.3f %8.3f "
+                    "%8.3f\n",
+                    cell.label.c_str(), s.instructions / 1e6,
+                    s.host_seconds, s.mips(), ph.bound_seconds,
+                    ph.fault_seconds, ph.merge_seconds,
+                    ph.weave_seconds);
+        report.hostPhases(cell.label, s.host_seconds, s.mips(),
+                          ph.bound_seconds, ph.fault_seconds,
+                          ph.merge_seconds, ph.weave_seconds);
+        rows.emplace_back(cell.label, s);
         total.host_seconds += s.host_seconds;
         total.instructions += s.instructions;
+        total.addPhases(s);
     }
     rule();
-    std::printf("%-12s %14.2f %12.3f %12.2f\n", "total",
-                total.instructions / 1e6, total.host_seconds,
-                total.mips());
-    report.host("total", total.host_seconds, total.mips());
+    const auto &tp = total.phases;
+    std::printf("%-12s %12.2f %10.3f %10.2f %8.3f %8.3f %8.3f %8.3f\n",
+                "total", total.instructions / 1e6, total.host_seconds,
+                total.mips(), tp.bound_seconds, tp.fault_seconds,
+                tp.merge_seconds, tp.weave_seconds);
+    report.hostPhases("total", total.host_seconds, total.mips(),
+                      tp.bound_seconds, tp.fault_seconds,
+                      tp.merge_seconds, tp.weave_seconds);
     report.metric("sim_mips", total.mips());
     report.metric("host_seconds", total.host_seconds);
 
-    if (baseline_mips > 0) {
-        const double speedup = total.mips() / baseline_mips;
+    if (base.aggregate_mips > 0) {
+        const double speedup = total.mips() / base.aggregate_mips;
         std::printf("baseline %.2f MIPS -> speedup %.2fx\n",
-                    baseline_mips, speedup);
-        report.note("baseline_mips", baseline_mips);
+                    base.aggregate_mips, speedup);
+        report.note("baseline_mips", base.aggregate_mips);
         report.note("speedup", speedup);
     }
     report.write();
 
-    // Regression gate (CI): with a baseline and BF_MIPS_GUARD set, a
-    // drop below guard x baseline is a hard failure. The report above
-    // is written either way so the artifact shows the failing numbers.
+    // Regression gates (CI): with a baseline and BF_MIPS_GUARD set, an
+    // aggregate drop below guard x baseline is a hard failure, and each
+    // workload row is additionally held to BF_MIPS_GUARD_ROW x its own
+    // baseline row (default 0.80) — a single workload regressing badly
+    // cannot hide behind other rows' gains. The report above is written
+    // either way so the artifact shows the failing numbers.
     if (const char *g = std::getenv("BF_MIPS_GUARD")) {
         const double guard = std::atof(g);
-        if (baseline_mips > 0 && guard > 0 &&
-            total.mips() < guard * baseline_mips) {
+        bool failed = false;
+        if (base.aggregate_mips > 0 && guard > 0 &&
+            total.mips() < guard * base.aggregate_mips) {
             std::fprintf(stderr,
                          "FAIL: aggregate %.2f MIPS is below %.0f%% of "
                          "the %.2f MIPS baseline\n",
-                         total.mips(), guard * 100, baseline_mips);
-            return 1;
+                         total.mips(), guard * 100, base.aggregate_mips);
+            failed = true;
         }
+        double row_guard = 0.80;
+        if (const char *rg = std::getenv("BF_MIPS_GUARD_ROW"))
+            row_guard = std::atof(rg);
+        if (guard > 0 && row_guard > 0) {
+            for (const auto &[label, s] : rows) {
+                const double row_base = base.rowMips(label);
+                if (row_base <= 0)
+                    continue;
+                if (s.mips() < row_guard * row_base) {
+                    std::fprintf(stderr,
+                                 "FAIL: %s %.2f MIPS is below %.0f%% of "
+                                 "its %.2f MIPS baseline row\n",
+                                 label.c_str(), s.mips(), row_guard * 100,
+                                 row_base);
+                    failed = true;
+                }
+            }
+        }
+        if (failed)
+            return 1;
     }
     return 0;
 }

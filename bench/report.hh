@@ -25,7 +25,10 @@
  *                   "points": [[x, y], ...] }, ...
  *     },
  *     "host": {
- *       "<label>": { "host_seconds": <number>, "sim_mips": <number> }, ...
+ *       "<label>": { "host_seconds": <number>, "sim_mips": <number>,
+ *                    "phases": { "bound": <number>, "fault": <number>,
+ *                                "merge": <number>, "weave": <number> } },
+ *       ...
  *     },
  *     "notes": { "<key>": <number|string>, ... }
  *   }
@@ -37,7 +40,10 @@
  * trace; the time series stays embedded under "timeseries") and the
  * effective values of every BF_* execution knob under "config". All
  * additions are additive; the architectural stats under "runs" are
- * unchanged.
+ * unchanged. The optional per-phase host breakdown under each host row
+ * ("phases": seconds spent in the bound / fault-service / merge / weave
+ * stages of the chunk loop, from System::phaseTimes) is likewise an
+ * additive v3 field — absent when the bench did not collect it.
  *
  * Environment knobs: BF_JSON=0 disables the file; BF_JSON_DIR=<dir>
  * redirects it (default: the current directory).
@@ -119,6 +125,21 @@ class BenchReport
     host(const std::string &label, double host_seconds, double sim_mips)
     {
         host_.push_back({ label, host_seconds, sim_mips });
+    }
+
+    /**
+     * As host(), plus the per-phase breakdown of where those host
+     * seconds went (System::phaseTimes — bound / fault-service / merge
+     * / weave). Emits the optional "phases" object on the host row.
+     */
+    void
+    hostPhases(const std::string &label, double host_seconds,
+               double sim_mips, double bound, double fault, double merge,
+               double weave)
+    {
+        host_.push_back(
+            { label, host_seconds, sim_mips, true, bound, fault, merge,
+              weave });
     }
 
     /** @{ @name Free-form notes (e.g.\ baseline_mips, speedup). */
@@ -236,7 +257,15 @@ class BenchReport
             os << (first ? "" : ",") << '"'
                << bf::stats::jsonEscape(h.label) << "\":{\"host_seconds\":"
                << bf::stats::jsonNumber(h.host_seconds) << ",\"sim_mips\":"
-               << bf::stats::jsonNumber(h.sim_mips) << '}';
+               << bf::stats::jsonNumber(h.sim_mips);
+            if (h.has_phases) {
+                os << ",\"phases\":{\"bound\":"
+                   << bf::stats::jsonNumber(h.bound) << ",\"fault\":"
+                   << bf::stats::jsonNumber(h.fault) << ",\"merge\":"
+                   << bf::stats::jsonNumber(h.merge) << ",\"weave\":"
+                   << bf::stats::jsonNumber(h.weave) << '}';
+            }
+            os << '}';
             first = false;
         }
         os << "},\"notes\":{";
@@ -264,6 +293,11 @@ class BenchReport
         std::string label;
         double host_seconds = 0;
         double sim_mips = 0;
+        bool has_phases = false; //!< Emit the "phases" object.
+        double bound = 0;
+        double fault = 0;
+        double merge = 0;
+        double weave = 0;
     };
 
     std::string name_;

@@ -182,6 +182,15 @@ Core::runUntil(Cycles until)
         // The access issues once the pipeline and translation time have
         // elapsed — the timestamp orders this core's events against the
         // other cores' in the weave (and against DRAM bank state).
+        //
+        // Epoch-log invariant the canonical merge exploits (asserted in
+        // mergeEpochLogs): a core's logged timestamps never decrease in
+        // append order. Within one reference the walker's events carry
+        // now_ + base + (partial walk cycles) and precede this data
+        // access at now_ + base + tr.cycles; across references now_
+        // advances below by at least every offset that was stamped. So
+        // each per-core log is already sorted by (ts, seq) and the
+        // k-way ladder needs no comparison sort.
         const auto mem = hierarchy_.access(id_, tr.paddr, ref.type,
                                            now_ + base + tr.cycles);
 

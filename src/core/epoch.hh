@@ -8,10 +8,12 @@
  * would touch a shared level — an L2 cache miss into L3/DRAM, a
  * coherence probe of peer caches, a kernel page fault — is recorded in
  * the core's EpochLog with a deterministic timestamp instead of being
- * performed. A single-threaded *weave* phase then drains the merged logs
- * in canonical (timestamp, core, seq) order against the shared L3, DRAM
- * and kernel, producing the authoritative latencies, fills, LRU updates
- * and statistics.
+ * performed. A *weave* phase then drains the merged logs in canonical
+ * (timestamp, core, seq) order against the shared L3, DRAM and kernel,
+ * producing the authoritative latencies, fills, LRU updates and
+ * statistics. The weave itself replays either fused on the calling
+ * thread or sharded across workers (DESIGN.md §15); both orders are
+ * byte-identical.
  *
  * Because the per-core bound execution is independent of how cores are
  * scheduled onto host threads, and both the fault-service and weave
@@ -37,26 +39,29 @@
 namespace bf::core
 {
 
-/** One deferred shared-level memory event from a bound phase. */
-struct EpochEvent
-{
-    Cycles timestamp = 0;     //!< Deterministic issue time (core clock).
-    std::uint32_t seq = 0;    //!< Per-core issue order (merge tiebreak).
-    Addr paddr = 0;
-    AccessType type = AccessType::Read;
-    bool probe_only = false;  //!< Coherence probe of an L1/L2 write hit.
-    bool from_walker = false; //!< Walk step: excess bills translation time.
-};
-
 /**
  * Per-core event log of one sync chunk. The owning core appends during
- * its bound execution; the weave drains all cores' logs single-threaded.
- * While inactive (outside System::run) the hierarchy and MMU take their
- * historical immediate paths, so direct calls from tests are unchanged.
+ * its bound execution; the weave drains all cores' logs in canonical
+ * order. While inactive (outside System::run) the hierarchy and MMU
+ * take their historical immediate paths, so direct calls from tests are
+ * unchanged.
+ *
+ * Storage is structure-of-arrays: parallel timestamp / address / flag
+ * vectors whose capacity persists across chunks (clearEvents() never
+ * shrinks), so steady-state bound phases append without allocating.
+ * The per-core issue order — the `seq` tiebreak of the canonical merge
+ * key — is the append index itself and is never materialized.
  */
 class EpochLog
 {
   public:
+    /** @{ @name Event flag bits (packed per event) */
+    static constexpr std::uint8_t flagWrite = 1;  //!< Dirties the line.
+    static constexpr std::uint8_t flagProbe = 2;  //!< Coherence probe.
+    static constexpr std::uint8_t flagWalker = 4; //!< Walk step: excess
+                                                  //!< bills translation.
+    /** @} */
+
     bool active() const { return active_; }
     void activate() { active_ = true; }
     void deactivate() { active_ = false; }
@@ -65,15 +70,22 @@ class EpochLog
     void
     appendAccess(Cycles ts, Addr paddr, AccessType type, bool from_walker)
     {
-        events_.push_back({ts, seq_++, paddr, type, false, from_walker});
+        std::uint8_t flags =
+            type == AccessType::Write ? flagWrite : std::uint8_t(0);
+        if (from_walker)
+            flags |= flagWalker;
+        ts_.push_back(ts);
+        paddr_.push_back(paddr);
+        flags_.push_back(flags);
     }
 
     /** Record a coherence probe for an L1/L2 write hit. */
     void
     appendProbe(Cycles ts, Addr paddr)
     {
-        events_.push_back({ts, seq_++, paddr, AccessType::Write, true,
-                           false});
+        ts_.push_back(ts);
+        paddr_.push_back(paddr);
+        flags_.push_back(flagWrite | flagProbe);
     }
 
     /** @{ @name Deferred page fault (at most one; the core suspends) */
@@ -93,27 +105,120 @@ class EpochLog
     void clearFault() { fault_pending_ = false; }
     /** @} */
 
-    const std::vector<EpochEvent> &events() const { return events_; }
+    /** @{ @name Event access (index = per-core issue order / seq) */
+    std::size_t size() const { return ts_.size(); }
+    bool empty() const { return ts_.empty(); }
+    Cycles ts(std::size_t i) const { return ts_[i]; }
+    Addr paddr(std::size_t i) const { return paddr_[i]; }
+    std::uint8_t flags(std::size_t i) const { return flags_[i]; }
+    /** @} */
+
+    /** Pre-size the pooled buffers (tests / capacity-boundary checks). */
+    void
+    reserve(std::size_t n)
+    {
+        ts_.reserve(n);
+        paddr_.reserve(n);
+        flags_.reserve(n);
+    }
+
+    /** Pooled capacity currently held (timestamps lane). */
+    std::size_t capacity() const { return ts_.capacity(); }
 
     /** Drop drained events; keeps capacity for the next chunk. */
     void
     clearEvents()
     {
-        events_.clear();
-        seq_ = 0;
+        ts_.clear();
+        paddr_.clear();
+        flags_.clear();
     }
 
   private:
-    std::vector<EpochEvent> events_;
+    std::vector<Cycles> ts_;
+    std::vector<Addr> paddr_;
+    std::vector<std::uint8_t> flags_;
     vm::DeferredFault fault_{};
     Cycles fault_ts_ = 0;
     bool fault_pending_ = false;
     bool active_ = false;
-    std::uint32_t seq_ = 0;
 };
 
 /**
- * Persistent worker pool for bound phases, with work stealing.
+ * The merged canonical event stream of one chunk, pooled across chunks.
+ *
+ * The merge splits the canonical (ts, core, seq) order into two
+ * sub-streams that preserve it: L2-miss *accesses* (replayed against
+ * L3/DRAM) and coherence *probes* (replayed against peer L1/L2). A
+ * write access appears in both — the L3/DRAM service and the peer
+ * invalidation the historical replay fused. The two sub-streams touch
+ * disjoint simulated state, so replaying them separately is
+ * state-identical to the historical interleaved drain; within one
+ * chunk's probe stream, per-peer outcomes are even order-independent
+ * (invalidation only moves a line present → absent, and no weave path
+ * refills private levels), which is what lets the probe pass shard by
+ * line rather than replay position.
+ *
+ * `hit` is the weave's L3-outcome scratch lane (1 = L3 hit): written by
+ * the L3 pass, read by the DRAM pass. One byte per access so concurrent
+ * shards write distinct memory locations.
+ */
+struct WeaveStream
+{
+    /** @{ @name Accesses, canonical order */
+    std::vector<Cycles> ts;
+    std::vector<Addr> paddr;
+    std::vector<std::uint8_t> core;
+    std::vector<std::uint8_t> flags; //!< EpochLog::flagWrite/flagWalker.
+    std::vector<std::uint8_t> hit;   //!< L3 pass outcome, per access.
+    /** @} */
+
+    /** @{ @name Probes, canonical order */
+    std::vector<Addr> probe_paddr;
+    std::vector<std::uint8_t> probe_core;
+    /** @} */
+
+    std::size_t accesses() const { return ts.size(); }
+    std::size_t probes() const { return probe_paddr.size(); }
+    bool empty() const { return ts.empty() && probe_paddr.empty(); }
+
+    void
+    clear()
+    {
+        ts.clear();
+        paddr.clear();
+        core.clear();
+        flags.clear();
+        hit.clear();
+        probe_paddr.clear();
+        probe_core.clear();
+    }
+};
+
+/**
+ * Merge the per-core epoch logs into @p out in canonical
+ * (timestamp, core, seq) order.
+ *
+ * Each log is already sorted: a core's clock never runs backwards
+ * across references, and within one reference events are appended in
+ * nondecreasing-timestamp order (walk steps precede the data access
+ * they enable), so the append order *is* the (ts, seq) order — asserted
+ * here. Merging k sorted runs with a ladder (linear min-scan over one
+ * head per core, ties broken by core id; seq ties cannot occur across
+ * the merge because a head advances sequentially) therefore reproduces
+ * the historical global sort exactly, in O(events × cores) with no
+ * comparator calls or record copies.
+ *
+ * @param write_probes emit a probe-lane entry for every write access
+ *        (the peer invalidation its replay owes); pass the hierarchy's
+ *        coherence state so single-core runs skip the dead lanes.
+ */
+void mergeEpochLogs(const std::vector<std::unique_ptr<EpochLog>> &logs,
+                    WeaveStream &out, bool write_probes);
+
+/**
+ * Persistent worker pool for bound and weave phases, with work
+ * stealing.
  *
  * A chunked simulation crosses the fork/join point tens of thousands of
  * times per second, so the pool keeps its threads alive and uses
@@ -121,15 +226,21 @@ class EpochLog
  * handoff costs microseconds per round).
  *
  * Work distribution: the n items of a round are split into one
- * contiguous block per stripe (worker threads plus the caller), each
- * with an atomic claim cursor. A stripe drains its own block first,
- * then sweeps the other blocks and steals whatever is still unclaimed
- * — so a stripe whose cores idle at the sync barrier (short bound
- * phases, uneven run queues) helps finish the stragglers' cores
- * instead of spinning. Bound-phase items are fully independent and
- * each is claimed exactly once (the cursor fetch_add is the claim), so
- * which host thread runs an item cannot affect simulated state — the
+ * contiguous block per active stripe (worker threads plus the caller),
+ * each with an atomic claim cursor. A stripe drains its own block
+ * first, then sweeps the other blocks and steals whatever is still
+ * unclaimed — so a stripe whose cores idle at the sync barrier (short
+ * bound phases, uneven run queues) helps finish the stragglers' cores
+ * instead of spinning. Round items are fully independent and each is
+ * claimed exactly once (the cursor fetch_add is the claim), so which
+ * host thread runs an item cannot affect simulated state — the
  * determinism argument is unchanged from static striping.
+ *
+ * Rounds may cap their parallelism below the pool size (the `stripes`
+ * argument): the bound phase runs on BF_WORKERS stripes and the weave
+ * passes on BF_WEAVE_WORKERS stripes off one shared pool sized for the
+ * larger of the two. Workers above the cap wake, find no block
+ * assigned, and immediately signal done.
  *
  * Round isolation: workers signal done_ only after their final claim,
  * and run() returns only once every worker has signaled, so no claim
@@ -148,8 +259,12 @@ class BoundPool
     /**
      * Run fn(0) ... fn(n-1) across the pool plus the calling thread;
      * returns once all have completed.
+     *
+     * @param stripes cap on participating stripes (0 = the whole pool);
+     *        1 runs inline on the caller.
      */
-    void run(unsigned n, const std::function<void(unsigned)> &fn);
+    void run(unsigned n, const std::function<void(unsigned)> &fn,
+             unsigned stripes = 0);
 
   private:
     /** One claim cursor per stripe block, padded against false sharing. */
@@ -169,7 +284,7 @@ class BoundPool
     blockBegin(unsigned stripe) const
     {
         return static_cast<unsigned>(
-            (static_cast<std::uint64_t>(n_) * stripe) / stripe_count_);
+            (static_cast<std::uint64_t>(n_) * stripe) / active_stripes_);
     }
 
     std::vector<std::thread> threads_;
@@ -180,6 +295,7 @@ class BoundPool
     std::atomic<bool> stop_{false};
     const std::function<void(unsigned)> *job_ = nullptr;
     unsigned n_ = 0;
+    unsigned active_stripes_ = 1; //!< Stripes sharing the current round.
 };
 
 } // namespace bf::core

@@ -1,6 +1,7 @@
 #include "core/system.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <optional>
 
 #include "common/logging.hh"
@@ -74,11 +75,21 @@ System::System(const SystemParams &params)
         hierarchy_->setEpochLog(i, epoch_logs_[i].get());
     }
 
-    // More workers than cores cannot help; workers=1 keeps the bound
-    // phase on the calling thread (same algorithm, no pool threads).
-    const unsigned workers = std::min<unsigned>(
-        std::max(1u, params_.workers), params_.num_cores);
-    pool_ = std::make_unique<BoundPool>(workers - 1);
+    // More bound workers than cores cannot help; more weave workers
+    // than address shards the cache geometries support cannot either
+    // (and the shard mask needs a power of two). One pool sized for the
+    // larger phase serves both: each run() round caps its stripes to
+    // the requesting phase's worker count, so BF_WORKERS=1 still runs
+    // the bound phase inline even when the weave is parallel.
+    bound_workers_ = std::min<unsigned>(std::max(1u, params_.workers),
+                                        params_.num_cores);
+    weave_workers_ = std::min<unsigned>(
+        std::max(1u, params_.weave_workers), hierarchy_->maxWeaveShards());
+    while (weave_workers_ & (weave_workers_ - 1))
+        --weave_workers_;
+    pool_ = std::make_unique<BoundPool>(
+        std::max(bound_workers_, weave_workers_) - 1);
+    weave_scratch_.resize(weave_workers_);
 
     kernel_->setTlbInvalidateHook([this](const vm::TlbInvalidate &inv) {
         for (auto &core : cores_)
@@ -104,20 +115,33 @@ System::System(const SystemParams &params)
 void
 System::runChunk(Cycles barrier)
 {
+    using hostclock = std::chrono::steady_clock;
+    const auto elapsed = [](hostclock::time_point from,
+                            hostclock::time_point to) {
+        return std::chrono::duration<double>(to - from).count();
+    };
+
     for (auto &log : epoch_logs_)
         log->activate();
 
     // Bound: every core advances to the barrier on its own worker,
     // touching only per-core-private state. Cores that hit a page fault
     // suspend early with the fault parked in their log.
-    pool_->run(numCores(),
-               [&](unsigned i) { cores_[i]->runUntil(barrier); });
+    const auto t_bound = hostclock::now();
+    pool_->run(
+        numCores(), [&](unsigned i) { cores_[i]->runUntil(barrier); },
+        bound_workers_);
+    const auto t_fault = hostclock::now();
+    phase_times_.bound_seconds += elapsed(t_bound, t_fault);
 
     // Service deferred faults single-threaded in (fault time, core)
     // order, then resume the suspended cores inline; they may fault
     // again, so iterate until every core reaches the barrier. No core
     // is executing here, so the kernel may mutate page tables and
-    // broadcast shootdowns freely.
+    // broadcast shootdowns freely. Faults of one round are a service
+    // batch: the kernel may memoize VMA/table lookups across them
+    // (vm/kernel.hh), which same-region fault storms amortize.
+    kernel_->beginFaultBatch();
     for (;;) {
         pending_faults_.clear();
         for (unsigned c = 0; c < numCores(); ++c) {
@@ -179,6 +203,9 @@ System::runChunk(Cycles barrier)
         for (const auto &pf : pending_faults_)
             cores_[pf.core]->runUntil(barrier);
     }
+    kernel_->endFaultBatch();
+    const auto t_weave = hostclock::now();
+    phase_times_.fault_seconds += elapsed(t_fault, t_weave);
 
     for (auto &log : epoch_logs_)
         log->deactivate();
@@ -192,49 +219,73 @@ System::runChunk(Cycles barrier)
 void
 System::weave()
 {
-    merge_buf_.clear();
-    for (unsigned c = 0; c < numCores(); ++c) {
-        for (const EpochEvent &ev : epoch_logs_[c]->events())
-            merge_buf_.push_back({ev, c});
-    }
-    if (merge_buf_.empty())
-        return;
+    using hostclock = std::chrono::steady_clock;
 
-    // Canonical order: issue time, then core id, then per-core issue
-    // order. The key is unique, so the replay order — and with it every
+    // Merge: the per-core logs are already (ts, seq)-sorted, so a
+    // linear k-way ladder reproduces the canonical (ts, core, seq)
+    // order the historical global sort produced — see core/epoch.hh.
+    // The key is unique, so the replay order — and with it every
     // L3/DRAM stat, LRU update and fill — is independent of how bound
     // work was scheduled onto host threads.
-    std::sort(merge_buf_.begin(), merge_buf_.end(),
-              [](const MergedEvent &a, const MergedEvent &b) {
-                  if (a.ev.timestamp != b.ev.timestamp)
-                      return a.ev.timestamp < b.ev.timestamp;
-                  if (a.core != b.core)
-                      return a.core < b.core;
-                  return a.ev.seq < b.ev.seq;
-              });
+    const auto t_merge = hostclock::now();
+    mergeEpochLogs(epoch_logs_, weave_stream_,
+                   hierarchy_->coherenceActive());
+    for (auto &log : epoch_logs_)
+        log->clearEvents();
+    const auto t_weave = hostclock::now();
+    phase_times_.merge_seconds +=
+        std::chrono::duration<double>(t_weave - t_merge).count();
+    if (weave_stream_.empty())
+        return;
 
-    data_extra_.assign(numCores(), 0);
-    walk_extra_.assign(numCores(), 0);
-    for (const MergedEvent &m : merge_buf_) {
-        if (m.ev.probe_only) {
-            hierarchy_->weaveProbe(m.core, m.ev.paddr);
-            continue;
-        }
-        const Cycles extra = hierarchy_->weaveAccess(
-            m.core, m.ev.paddr, m.ev.type, m.ev.timestamp);
-        if (m.ev.from_walker)
-            walk_extra_[m.core] += extra;
-        else
-            data_extra_[m.core] += extra;
+    const std::uint64_t num_accesses = weave_stream_.accesses();
+    const std::uint64_t lru_base = hierarchy_->l3().lruClock();
+    if (weave_workers_ <= 1) {
+        weave_scratch_[0].reset(numCores());
+        hierarchy_->weaveSerial(weave_stream_, lru_base,
+                                weave_scratch_[0]);
+    } else {
+        // Sharded replay (DESIGN.md §15): first the L3 pass and the
+        // probe pass (disjoint state, so one round covers both), then
+        // the DRAM pass, which consumes the L3 pass's hit lane — the
+        // pool round boundary is the required barrier.
+        weave_stream_.hit.assign(num_accesses, 0);
+        const unsigned w = weave_workers_;
+        pool_->run(
+            w,
+            [&](unsigned s) {
+                auto &sc = weave_scratch_[s];
+                sc.reset(numCores());
+                hierarchy_->weaveSharedPass(weave_stream_, s, w,
+                                            lru_base, sc);
+                hierarchy_->weaveProbePass(weave_stream_, s, w, sc);
+            },
+            w);
+        pool_->run(
+            w,
+            [&](unsigned s) {
+                hierarchy_->weaveDramPass(weave_stream_, s, w,
+                                          weave_scratch_[s]);
+            },
+            w);
     }
+    const unsigned shards = weave_workers_ <= 1 ? 1 : weave_workers_;
+    hierarchy_->weaveCommit(weave_scratch_.data(), shards, num_accesses);
 
+    // Bill the DRAM excess per core in fixed core order (sums over
+    // shards, so the totals are shard-count-independent).
     for (unsigned c = 0; c < numCores(); ++c) {
-        if (data_extra_[c] || walk_extra_[c]) {
-            cores_[c]->applyWeaveAdjustment(data_extra_[c],
-                                            walk_extra_[c]);
+        Cycles data_extra = 0, walk_extra = 0;
+        for (unsigned s = 0; s < shards; ++s) {
+            data_extra += weave_scratch_[s].data_extra[c];
+            walk_extra += weave_scratch_[s].walk_extra[c];
         }
-        epoch_logs_[c]->clearEvents();
+        if (data_extra || walk_extra)
+            cores_[c]->applyWeaveAdjustment(data_extra, walk_extra);
     }
+    phase_times_.weave_seconds +=
+        std::chrono::duration<double>(hostclock::now() - t_weave)
+            .count();
 }
 
 void

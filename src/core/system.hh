@@ -137,6 +137,28 @@ class System
     std::uint64_t totalL2TlbHits(bool instruction) const;
     std::uint64_t totalL2TlbSharedHits(bool instruction) const;
 
+    /**
+     * Host wall-clock seconds spent in each phase of the chunk loop,
+     * accumulated across run()/runUntilFinished() calls (never reset by
+     * resetStats — this is host-side observability, not a simulated
+     * stat). fault_seconds covers the whole fault-service block,
+     * including the inline bound re-runs of unblocked cores; the other
+     * three are exactly the bound dispatch, the canonical merge, and
+     * the weave replay+commit. bench_simspeed surfaces these as the
+     * per-phase Amdahl breakdown.
+     */
+    struct PhaseTimes
+    {
+        double bound_seconds = 0;
+        double fault_seconds = 0;
+        double merge_seconds = 0;
+        double weave_seconds = 0;
+    };
+    const PhaseTimes &phaseTimes() const { return phase_times_; }
+
+    /** Effective (clamped) weave worker count. */
+    unsigned weaveWorkers() const { return weave_workers_; }
+
     /** Root of the statistics tree ("system."). */
     stats::StatGroup &stats() { return stat_group_; }
     const stats::StatGroup &stats() const { return stat_group_; }
@@ -158,14 +180,12 @@ class System
     /** @{ @name Two-phase chunk execution (see core/epoch.hh) */
     std::vector<std::unique_ptr<EpochLog>> epoch_logs_; //!< Per core.
     std::unique_ptr<BoundPool> pool_;
+    unsigned bound_workers_ = 1; //!< Clamped params.workers.
+    unsigned weave_workers_ = 1; //!< Clamped params.weave_workers.
 
-    /** One epoch event tagged with its issuing core, for the merge. */
-    struct MergedEvent
-    {
-        EpochEvent ev;
-        unsigned core;
-    };
-    std::vector<MergedEvent> merge_buf_; //!< Reused across chunks.
+    WeaveStream weave_stream_; //!< Merged canonical stream, pooled.
+    std::vector<mem::CacheHierarchy::WeaveScratch>
+        weave_scratch_; //!< One per weave worker, pooled.
 
     /** A core suspended on a deferred fault, keyed for service order. */
     struct PendingFault
@@ -174,8 +194,8 @@ class System
         unsigned core;
     };
     std::vector<PendingFault> pending_faults_; //!< Reused across chunks.
-    std::vector<Cycles> data_extra_;           //!< Weave per-core bill.
-    std::vector<Cycles> walk_extra_;           //!< Weave per-core bill.
+
+    PhaseTimes phase_times_;
 
     /** @{ @name Periodic autosave (enableAutoCheckpoint) */
     std::string autosave_path_;
@@ -186,7 +206,11 @@ class System
 
     /** Advance every core to @p barrier: bound, fault service, weave. */
     void runChunk(Cycles barrier);
-    /** Single-threaded replay of the merged logs in canonical order. */
+    /**
+     * Replay the merged logs in canonical order: fused on this thread
+     * at weave_workers_ == 1, sharded across the pool otherwise
+     * (byte-identical either way — DESIGN.md §15).
+     */
     void weave();
     /** @} */
 };

@@ -26,8 +26,8 @@ Dram::numBanks() const
            params_.banks_per_rank;
 }
 
-Dram::Bank &
-Dram::bankFor(Addr paddr, std::uint64_t &row_out)
+unsigned
+Dram::decode(Addr paddr, std::uint64_t &row_out) const
 {
     // Address mapping: lines interleave across channels; within a
     // channel, consecutive lines fill one row of one bank (so streams get
@@ -44,35 +44,41 @@ Dram::bankFor(Addr paddr, std::uint64_t &row_out)
         (row_chunk / params_.banks_per_rank) % params_.ranks_per_channel;
     // row_chunk uniquely identifies the open row within its bank.
     row_out = row_chunk;
-    const unsigned idx =
-        (channel * params_.ranks_per_channel + rank) *
-            params_.banks_per_rank + bank;
-    return banks_[idx];
+    return (channel * params_.ranks_per_channel + rank) *
+               params_.banks_per_rank +
+           bank;
+}
+
+unsigned
+Dram::bankIndexOf(Addr paddr) const
+{
+    std::uint64_t row = 0;
+    return decode(paddr, row);
 }
 
 Cycles
-Dram::access(Addr paddr, Cycles now, bool is_write)
+Dram::weaveAccess(Addr paddr, Cycles now, bool is_write, DramTally &tally)
 {
     if (is_write)
-        ++writes;
+        ++tally.writes;
     else
-        ++reads;
+        ++tally.reads;
 
     std::uint64_t row = 0;
-    Bank &bank = bankFor(paddr, row);
+    Bank &bank = banks_[decode(paddr, row)];
 
     const Cycles start = std::max(now, bank.ready_at);
     const Cycles queue = start - now;
 
     Cycles service = params_.t_cas;
     if (!bank.row_open) {
-        ++row_misses;
+        ++tally.row_misses;
         service += params_.t_rcd;
     } else if (bank.open_row != row) {
-        ++row_conflicts;
+        ++tally.row_conflicts;
         service += params_.t_rp + params_.t_rcd;
     } else {
-        ++row_hits;
+        ++tally.row_hits;
     }
 
     bank.row_open = true;
@@ -80,6 +86,15 @@ Dram::access(Addr paddr, Cycles now, bool is_write)
     bank.ready_at = start + service + params_.t_burst;
 
     return queue + service + params_.t_burst + params_.channel_latency;
+}
+
+Cycles
+Dram::access(Addr paddr, Cycles now, bool is_write)
+{
+    DramTally tally;
+    const Cycles latency = weaveAccess(paddr, now, is_write, tally);
+    commitTally(tally);
+    return latency;
 }
 
 void

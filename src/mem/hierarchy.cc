@@ -1,5 +1,7 @@
 #include "mem/hierarchy.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 #include "common/snapshot.hh"
 
@@ -116,18 +118,158 @@ CacheHierarchy::access(unsigned core, Addr paddr, AccessType type,
     return result;
 }
 
-Cycles
-CacheHierarchy::weaveAccess(unsigned core, Addr paddr, AccessType type,
-                            Cycles ts)
+void
+CacheHierarchy::weaveSerial(const core::WeaveStream &ws,
+                            std::uint64_t lru_base, WeaveScratch &sc)
 {
-    const bool is_write = type == AccessType::Write;
-    bool dirty = false;
-    Cycles extra = 0;
-    if (!l3_->accessAndFill(paddr, is_write, dirty))
-        extra = dram_->access(paddr, ts, is_write);
-    if (is_write && coherence_active_)
-        probeInvalidate(core, paddr);
-    return extra;
+    // Fused single-thread drain: the L3 probe+fill and the DRAM billing
+    // of a miss happen in one pass over the canonical access stream
+    // (the way the bound side fused access+insert in PR 2), then the
+    // probe stream drains against the peer caches. Splitting accesses
+    // from probes is state-identical to the historical interleaved
+    // replay because they touch disjoint levels.
+    const std::size_t n = ws.accesses();
+    for (std::size_t i = 0; i < n; ++i) {
+        const Addr paddr = ws.paddr[i];
+        const std::uint8_t flags = ws.flags[i];
+        const bool is_write = flags & core::EpochLog::flagWrite;
+        if (!l3_->weaveAccessFill(paddr, is_write, lru_base + 1 + i,
+                                  sc.l3)) {
+            const Cycles extra =
+                dram_->weaveAccess(paddr, ws.ts[i], is_write, sc.dram);
+            const unsigned core = ws.core[i];
+            if (flags & core::EpochLog::flagWalker)
+                sc.walk_extra[core] += extra;
+            else
+                sc.data_extra[core] += extra;
+        }
+    }
+    if (!coherence_active_)
+        return;
+    const std::size_t np = ws.probes();
+    for (std::size_t i = 0; i < np; ++i)
+        probeShard(ws.probe_paddr[i], ws.probe_core[i], sc);
+}
+
+void
+CacheHierarchy::probeShard(Addr paddr, unsigned writer, WeaveScratch &sc)
+{
+    for (unsigned c = 0; c < num_cores_; ++c) {
+        if (c == writer)
+            continue;
+        if (l1i_[c]->invalidateQuiet(paddr))
+            ++sc.probe_inval[c * 3u + 0];
+        if (l1d_[c]->invalidateQuiet(paddr))
+            ++sc.probe_inval[c * 3u + 1];
+        if (l2_[c]->invalidateQuiet(paddr))
+            ++sc.probe_inval[c * 3u + 2];
+    }
+}
+
+void
+CacheHierarchy::weaveSharedPass(core::WeaveStream &ws, unsigned shard,
+                                unsigned nshards, std::uint64_t lru_base,
+                                WeaveScratch &sc)
+{
+    // Shard selection by low line bits: nshards divides the L3 set
+    // count, so accesses to one L3 set always share a shard and the
+    // per-set replay order is the canonical order. The hit lane is
+    // per-access bytes, so concurrent shards write disjoint memory.
+    const std::uint64_t mask = nshards - 1;
+    const std::size_t n = ws.accesses();
+    for (std::size_t i = 0; i < n; ++i) {
+        const Addr paddr = ws.paddr[i];
+        if ((lineOf(paddr) & mask) != shard)
+            continue;
+        const bool is_write = ws.flags[i] & core::EpochLog::flagWrite;
+        ws.hit[i] = l3_->weaveAccessFill(paddr, is_write,
+                                         lru_base + 1 + i, sc.l3)
+                        ? 1
+                        : 0;
+    }
+}
+
+void
+CacheHierarchy::weaveDramPass(const core::WeaveStream &ws, unsigned shard,
+                              unsigned nshards, WeaveScratch &sc)
+{
+    // Shard selection by DRAM bank: a bank's row buffer and ready_at
+    // evolve from that bank's request subsequence alone, which stays
+    // canonical under any bank partition (unlike line-bit shards: the
+    // bank index ignores line bits [1, 7), so only a bank partition
+    // keeps same-bank requests together at every shard count).
+    const std::size_t n = ws.accesses();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (ws.hit[i])
+            continue;
+        const Addr paddr = ws.paddr[i];
+        if (dram_->bankIndexOf(paddr) % nshards != shard)
+            continue;
+        const std::uint8_t flags = ws.flags[i];
+        const Cycles extra = dram_->weaveAccess(
+            paddr, ws.ts[i], flags & core::EpochLog::flagWrite, sc.dram);
+        const unsigned core = ws.core[i];
+        if (flags & core::EpochLog::flagWalker)
+            sc.walk_extra[core] += extra;
+        else
+            sc.data_extra[core] += extra;
+    }
+}
+
+void
+CacheHierarchy::weaveProbePass(const core::WeaveStream &ws, unsigned shard,
+                               unsigned nshards, WeaveScratch &sc)
+{
+    if (!coherence_active_)
+        return;
+    // Probes of one line always share a shard, so presence checks see
+    // the same prior invalidates as the serial drain; probes of
+    // different lines commute (no LRU bump, no victim choice).
+    const std::uint64_t mask = nshards - 1;
+    const std::size_t n = ws.probes();
+    for (std::size_t i = 0; i < n; ++i) {
+        const Addr paddr = ws.probe_paddr[i];
+        if ((lineOf(paddr) & mask) != shard)
+            continue;
+        probeShard(paddr, ws.probe_core[i], sc);
+    }
+}
+
+void
+CacheHierarchy::weaveCommit(const WeaveScratch *scratch, unsigned nshards,
+                            std::uint64_t num_accesses)
+{
+    for (unsigned s = 0; s < nshards; ++s) {
+        const WeaveScratch &sc = scratch[s];
+        l3_->commitTally(sc.l3);
+        dram_->commitTally(sc.dram);
+        for (unsigned c = 0; c < num_cores_; ++c) {
+            l1i_[c]->invalidations += sc.probe_inval[c * 3u + 0];
+            l1d_[c]->invalidations += sc.probe_inval[c * 3u + 1];
+            l2_[c]->invalidations += sc.probe_inval[c * 3u + 2];
+        }
+    }
+    // Every access bumped the clock exactly once in the serial replay;
+    // the pre-stamped shards reproduce those values, so one batched
+    // advance lands the identical (checkpointed) clock.
+    l3_->advanceLruClock(num_accesses);
+}
+
+unsigned
+CacheHierarchy::maxWeaveShards() const
+{
+    std::uint64_t sets = l3_->params().numSets();
+    for (unsigned c = 0; c < num_cores_; ++c) {
+        sets = std::min(sets, l1i_[c]->params().numSets());
+        sets = std::min(sets, l1d_[c]->params().numSets());
+        sets = std::min(sets, l2_[c]->params().numSets());
+    }
+    // Largest power of two <= the smallest set count (set counts are
+    // asserted powers of two, so this is that count itself).
+    std::uint64_t shards = 1;
+    while (shards * 2 <= sets)
+        shards *= 2;
+    return static_cast<unsigned>(shards);
 }
 
 void

@@ -94,22 +94,76 @@ class CacheHierarchy
     }
 
     /**
-     * Weave replay of one deferred L2-miss access against the shared
-     * levels, in canonical order. Performs the L3 lookup/fill the bound
-     * phase skipped, the DRAM access on an L3 miss, and the write
-     * coherence probe.
-     * @return latency beyond the bound-phase L3-hit estimate (the DRAM
-     *         portion), to be billed to the issuing core.
+     * Per-shard scratch state for the weave replay (DESIGN.md §15):
+     * stat tallies for the shared levels plus the per-core latency
+     * bills the System applies after the commit. Pooled by the System
+     * and reset() per chunk.
      */
-    Cycles weaveAccess(unsigned core, Addr paddr, AccessType type,
-                       Cycles ts);
-
-    /** Weave replay of a logged write-hit coherence probe. */
-    void
-    weaveProbe(unsigned core, Addr paddr)
+    struct WeaveScratch
     {
-        probeInvalidate(core, paddr);
-    }
+        CacheTally l3;
+        DramTally dram;
+        std::vector<Cycles> data_extra;          //!< Per core.
+        std::vector<Cycles> walk_extra;          //!< Per core.
+        std::vector<std::uint64_t> probe_inval;  //!< Per core × 3 (I/D/2).
+
+        void
+        reset(unsigned num_cores)
+        {
+            l3 = CacheTally{};
+            dram = DramTally{};
+            data_extra.assign(num_cores, 0);
+            walk_extra.assign(num_cores, 0);
+            probe_inval.assign(num_cores * 3u, 0);
+        }
+    };
+
+    /**
+     * @{
+     * @name Weave replay (DESIGN.md §15)
+     *
+     * The weave drains the canonical stream the merge produced. All
+     * entry points share one pre-stamping contract: @p lru_base is the
+     * L3's lruClock() at weave start, access i's LRU stamp is
+     * lru_base + 1 + i, and after the passes the System calls
+     * weaveCommit() which advances the clock by the access count and
+     * folds the shard tallies into the stats in fixed shard order —
+     * so tags, LRU bytes and stat totals are identical at every shard
+     * count, including 1.
+     *
+     * weaveSerial() is the fused single-thread path (L3 probe+fill and
+     * the DRAM billing of a miss in one scan, then the probe drain).
+     * The sharded passes split the same work: weaveSharedPass()
+     * replays accesses whose L3 set belongs to the shard (filling
+     * ws.hit), weaveDramPass() replays misses whose DRAM bank belongs
+     * to the shard (reading ws.hit — callers must order it after every
+     * shared pass), and weaveProbePass() invalidates peer L1/L2 lines
+     * whose sets belong to the shard. Soundness: the three passes touch
+     * disjoint simulated state, shards of one pass touch disjoint sets
+     * or banks, and per-set/per-bank request order is canonical in
+     * every split — DESIGN.md §15 gives the full argument.
+     */
+    void weaveSerial(const core::WeaveStream &ws, std::uint64_t lru_base,
+                     WeaveScratch &sc);
+    void weaveSharedPass(core::WeaveStream &ws, unsigned shard,
+                         unsigned nshards, std::uint64_t lru_base,
+                         WeaveScratch &sc);
+    void weaveDramPass(const core::WeaveStream &ws, unsigned shard,
+                       unsigned nshards, WeaveScratch &sc);
+    void weaveProbePass(const core::WeaveStream &ws, unsigned shard,
+                        unsigned nshards, WeaveScratch &sc);
+
+    /** Fold shard scratches into the stats and advance the L3 clock. */
+    void weaveCommit(const WeaveScratch *scratch, unsigned nshards,
+                     std::uint64_t num_accesses);
+
+    /**
+     * Largest power-of-two shard count the geometries support: shards
+     * select lines by low line bits, so the count must divide every
+     * probed cache's set count (and the L3's). 64 with Table I caches.
+     */
+    unsigned maxWeaveShards() const;
+    /** @} */
 
     /** Drop every line in every cache. */
     void flushAll();
@@ -118,6 +172,9 @@ class CacheHierarchy
     void resetStats();
 
     unsigned numCores() const { return num_cores_; }
+
+    /** Coherence probes modeled (model_coherence and more than one core). */
+    bool coherenceActive() const { return coherence_active_; }
 
     /**
      * @{
@@ -151,6 +208,8 @@ class CacheHierarchy
     std::vector<core::EpochLog *> epoch_logs_; //!< Per core; may be null.
 
     void probeInvalidate(unsigned writer_core, Addr paddr);
+    /** One probe against all peers, counting into shard scratch. */
+    void probeShard(Addr paddr, unsigned writer, WeaveScratch &sc);
 };
 
 } // namespace bf::mem

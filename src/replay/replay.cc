@@ -389,6 +389,13 @@ struct ReplaySchedule::Impl
 
     unsigned num_cores = 0;
     bool babelfish = false;
+    /**
+     * The decoded trace records, owned. Every Record pointer in the
+     * blocks below (streams, WalkInfo) points into these vectors, which
+     * are never touched again after construction — that immutability is
+     * what makes a schedule shareable across threads.
+     */
+    std::vector<std::vector<trace::Record>> records;
     std::vector<Block> blocks;
 
     /**
@@ -1273,7 +1280,7 @@ ReplayEngine::run(trace::TraceReader &reader)
         while (reader.nextBlock(block))
             blocks.push_back(std::move(block));
     }
-    const ReplaySchedule schedule(impl_->header, blocks);
+    const ReplaySchedule schedule(impl_->header, std::move(blocks));
     run(schedule);
     impl_->knowledge = nullptr; // The local schedule dies here.
 }
@@ -1292,12 +1299,23 @@ ReplayEngine::run(const ReplaySchedule &schedule)
 ReplaySchedule::ReplaySchedule(
     const trace::TraceHeader &header,
     const std::vector<std::vector<trace::Record>> &blocks)
+    : ReplaySchedule(header,
+                     std::vector<std::vector<trace::Record>>(blocks))
+{
+}
+
+ReplaySchedule::ReplaySchedule(
+    const trace::TraceHeader &header,
+    std::vector<std::vector<trace::Record>> &&blocks)
     : impl_(std::make_unique<Impl>())
 {
     impl_->num_cores = header.num_cores;
     impl_->babelfish = header.config.babelfish;
-    impl_->blocks.reserve(blocks.size());
-    for (const auto &block : blocks) {
+    // Take ownership first: analyze() stores pointers to individual
+    // records, so they must already live in their final home.
+    impl_->records = std::move(blocks);
+    impl_->blocks.reserve(impl_->records.size());
+    for (const auto &block : impl_->records) {
         impl_->blocks.push_back(Impl::analyze(header.num_cores, block));
         impl_->learn(block);
     }

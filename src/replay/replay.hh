@@ -134,20 +134,28 @@ struct CounterDiff
  *
  * A design-space sweep builds one schedule and shares it (read-only,
  * thread-safe) across every ReplayEngine instead of re-deriving all of
- * this per point. The schedule holds pointers into the caller's
- * decoded blocks, which must stay alive and unmoved until the last
- * run() against it.
+ * this per point. The schedule owns its copy of the decoded records:
+ * once constructed it is self-contained and immutable, so concurrent
+ * run(schedule) calls from different engines (e.g. a BF_JOBS sweep
+ * pool) need no external synchronization and the caller's block
+ * vectors may be freed or reused immediately.
  */
 class ReplaySchedule
 {
   public:
     /**
      * @param header decoded trace header (core count + mode flags).
-     * @param blocks every decoded block of the trace, in file order.
+     * @param blocks every decoded block of the trace, in file order;
+     *        copied into the schedule (the caller's vector is not
+     *        referenced after construction).
      * @throws ReplayError on records that cannot be scheduled.
      */
     ReplaySchedule(const trace::TraceHeader &header,
                    const std::vector<std::vector<trace::Record>> &blocks);
+
+    /** As above, but takes ownership of the decoded blocks directly. */
+    ReplaySchedule(const trace::TraceHeader &header,
+                   std::vector<std::vector<trace::Record>> &&blocks);
     ~ReplaySchedule();
 
     ReplaySchedule(const ReplaySchedule &) = delete;
@@ -187,7 +195,9 @@ class ReplayEngine
     /**
      * Replay a precomputed schedule (same result as run(reader) on the
      * trace it was built from, minus the re-derivation cost). The
-     * schedule's core count must match the engine's.
+     * schedule's core count must match the engine's. The schedule is
+     * only read: any number of engines may run the same schedule from
+     * different threads concurrently, one engine per thread.
      */
     void run(const ReplaySchedule &schedule);
 

@@ -7,6 +7,8 @@
  *    and PWC hit/miss counters (and the miss-latency count and sum)
  *    EXACTLY — for traces recorded at BF_WORKERS 1, 2 and 4, across a
  *    mid-run resetStats boundary;
+ *  - schedule sharing: a ReplaySchedule owns its decoded records and
+ *    backs concurrent ReplayEngines from multiple threads;
  *  - sweep sanity: growing the L2 TLB associativity at a fixed set
  *    count never increases misses on a fixed trace (LRU stack
  *    inclusion);
@@ -23,6 +25,8 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/trace/trace.hh"
@@ -214,6 +218,47 @@ TEST(Replay, StatsJsonHasMmuSections)
     EXPECT_NE(json.find("\"l2_4k\""), std::string::npos);
     EXPECT_NE(json.find("\"pwc\""), std::string::npos);
     EXPECT_NE(json.find("\"miss_latency\""), std::string::npos);
+}
+
+// A ReplaySchedule owns its records and is immutable after
+// construction, so one schedule backs concurrent engines (the BF_JOBS
+// sweep pattern): two engines replaying the same shared schedule from
+// two threads — with the decoded blocks freed before either runs —
+// both reproduce the live counters exactly.
+TEST(Replay, ScheduleSharedAcrossThreads)
+{
+    const std::string path = tmpPath("replay-mt.trace");
+    const auto live = runTracedMix(1, path);
+
+    trace::TraceReader reader(path);
+    const trace::TraceHeader header = reader.header();
+    std::unique_ptr<replay::ReplaySchedule> schedule;
+    {
+        std::vector<std::vector<trace::Record>> blocks;
+        std::vector<trace::Record> block;
+        while (reader.nextBlock(block))
+            blocks.push_back(std::move(block));
+        schedule = std::make_unique<replay::ReplaySchedule>(
+            header, std::move(blocks));
+        // blocks dies here: the schedule must not reference it.
+    }
+
+    const replay::ReplayParams params =
+        replay::paramsFromTrace(header.config);
+    replay::ReplayEngine a(params, header);
+    replay::ReplayEngine b(params, header);
+    std::thread ta([&] { a.run(*schedule); });
+    std::thread tb([&] { b.run(*schedule); });
+    ta.join();
+    tb.join();
+
+    for (replay::ReplayEngine *engine : {&a, &b}) {
+        EXPECT_TRUE(engine->validate().empty());
+        ASSERT_EQ(engine->numCores(), live.size());
+        for (unsigned c = 0; c < live.size(); ++c)
+            expectEqualCounters(live[c], engine->replayed(c), c,
+                                "concurrent replay");
+    }
 }
 
 // ---------------------------------------------------------------------

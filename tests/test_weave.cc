@@ -1,0 +1,384 @@
+/**
+ * @file
+ * Adversarial determinism tests for the weave machinery (DESIGN.md §15):
+ * the ladder merge, and byte-identity of the sharded weave replay
+ * against the fused serial path under worst-case shard skew.
+ *
+ *  - merge fidelity: the k-way ladder reproduces the reference
+ *    (ts, core, seq) comparison sort exactly, including on a log filled
+ *    exactly to its pooled capacity;
+ *  - all-hot-one-set: every access of a chunk lands in one L3 set, so
+ *    one shard owns all the work and the others spin empty — tags, LRU
+ *    stamps, dirty bits and stat tallies still match the serial drain
+ *    byte-for-byte (checkpoint payload comparison);
+ *  - zero-shared-event round: an empty stream through both paths leaves
+ *    the hierarchy untouched;
+ *  - the system-level matrix: the full stats tree is byte-identical
+ *    over BF_WORKERS x BF_WEAVE_WORKERS in {1,2,4}^2 on a seeded
+ *    faulting multi-container mix.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/snapshot.hh"
+#include "common/stats_export.hh"
+#include "core/epoch.hh"
+#include "core/system.hh"
+#include "mem/hierarchy.hh"
+#include "workloads/apps.hh"
+
+using namespace bf;
+
+namespace
+{
+
+constexpr unsigned kCores = 4;
+
+/** L3 set stride of the default Table I geometry (8 MiB, 16-way, 64 B
+ *  lines -> 8192 sets): addresses one stride apart share a set. */
+constexpr Addr kL3SetStride = 64ull * 8192;
+
+std::unique_ptr<mem::CacheHierarchy>
+makeHierarchy(stats::StatGroup *root)
+{
+    return std::make_unique<mem::CacheHierarchy>(mem::HierarchyParams{},
+                                                 kCores, root);
+}
+
+/** Identical direct-path warmup: seed the private levels and the L3 so
+ *  weave probes find lines to invalidate and fills find victims. */
+void
+warm(mem::CacheHierarchy &h)
+{
+    Cycles now = 0;
+    for (unsigned c = 0; c < kCores; ++c) {
+        for (unsigned k = 0; k < 64; ++k) {
+            h.access(c, 0x4000 + k * kL3SetStride, AccessType::Read,
+                     now += 20);
+            h.access(c, 0x9000 + k * 64, AccessType::Write, now += 20);
+        }
+    }
+}
+
+/** Serialize the full hierarchy state (tags, LRU, dirty bits, DRAM). */
+std::vector<std::uint8_t>
+stateBytes(const mem::CacheHierarchy &h)
+{
+    snap::ArchiveWriter ar;
+    h.save(ar);
+    return ar.payload();
+}
+
+/** The System::weave sharded orchestration, serialized for tests:
+ *  shared+probe passes, barrier, DRAM passes, commit. */
+void
+runSharded(mem::CacheHierarchy &h, core::WeaveStream &ws,
+           unsigned nshards,
+           std::vector<mem::CacheHierarchy::WeaveScratch> &sc)
+{
+    const std::uint64_t num_accesses = ws.accesses();
+    const std::uint64_t lru_base = h.l3().lruClock();
+    ws.hit.assign(num_accesses, 0);
+    for (unsigned s = 0; s < nshards; ++s) {
+        sc[s].reset(kCores);
+        h.weaveSharedPass(ws, s, nshards, lru_base, sc[s]);
+        h.weaveProbePass(ws, s, nshards, sc[s]);
+    }
+    for (unsigned s = 0; s < nshards; ++s)
+        h.weaveDramPass(ws, s, nshards, sc[s]);
+    h.weaveCommit(sc.data(), nshards, num_accesses);
+}
+
+void
+runSerial(mem::CacheHierarchy &h, const core::WeaveStream &ws,
+          std::vector<mem::CacheHierarchy::WeaveScratch> &sc)
+{
+    sc[0].reset(kCores);
+    h.weaveSerial(ws, h.l3().lruClock(), sc[0]);
+    h.weaveCommit(sc.data(), 1, ws.accesses());
+}
+
+/** Per-core billing summed over shards (the order System applies it). */
+std::vector<Cycles>
+billing(const std::vector<mem::CacheHierarchy::WeaveScratch> &sc,
+        unsigned nshards)
+{
+    std::vector<Cycles> out(kCores * 2, 0);
+    for (unsigned c = 0; c < kCores; ++c) {
+        for (unsigned s = 0; s < nshards; ++s) {
+            out[c * 2] += sc[s].data_extra[c];
+            out[c * 2 + 1] += sc[s].walk_extra[c];
+        }
+    }
+    return out;
+}
+
+/** Reference merge: the comparison sort the ladder replaced. */
+void
+referenceMerge(const std::vector<std::unique_ptr<core::EpochLog>> &logs,
+               core::WeaveStream &out, bool write_probes)
+{
+    struct Key
+    {
+        Cycles ts;
+        std::uint32_t core;
+        std::uint32_t seq;
+    };
+    std::vector<Key> keys;
+    for (unsigned c = 0; c < logs.size(); ++c) {
+        for (std::size_t i = 0; i < logs[c]->size(); ++i)
+            keys.push_back(
+                {logs[c]->ts(i), c, static_cast<std::uint32_t>(i)});
+    }
+    std::sort(keys.begin(), keys.end(), [](const Key &a, const Key &b) {
+        if (a.ts != b.ts)
+            return a.ts < b.ts;
+        if (a.core != b.core)
+            return a.core < b.core;
+        return a.seq < b.seq;
+    });
+    out.clear();
+    for (const Key &k : keys) {
+        const core::EpochLog &log = *logs[k.core];
+        const std::uint8_t flags = log.flags(k.seq);
+        if (write_probes && (flags & core::EpochLog::flagWrite)) {
+            out.probe_paddr.push_back(log.paddr(k.seq));
+            out.probe_core.push_back(static_cast<std::uint8_t>(k.core));
+        }
+        if (!(flags & core::EpochLog::flagProbe)) {
+            out.ts.push_back(k.ts);
+            out.paddr.push_back(log.paddr(k.seq));
+            out.core.push_back(static_cast<std::uint8_t>(k.core));
+            out.flags.push_back(flags);
+        }
+    }
+}
+
+void
+expectStreamsEqual(const core::WeaveStream &a, const core::WeaveStream &b)
+{
+    EXPECT_EQ(a.ts, b.ts);
+    EXPECT_EQ(a.paddr, b.paddr);
+    EXPECT_EQ(a.core, b.core);
+    EXPECT_EQ(a.flags, b.flags);
+    EXPECT_EQ(a.probe_paddr, b.probe_paddr);
+    EXPECT_EQ(a.probe_core, b.probe_core);
+}
+
+/** Seeded per-core logs with interleaved timestamps, writes and walker
+ *  events; every paddr lands in the same L3 set when @p one_set. */
+std::vector<std::unique_ptr<core::EpochLog>>
+makeLogs(std::size_t events_per_core, bool one_set)
+{
+    std::vector<std::unique_ptr<core::EpochLog>> logs;
+    std::uint64_t rng = 0x9E3779B97F4A7C15ull;
+    for (unsigned c = 0; c < kCores; ++c) {
+        auto log = std::make_unique<core::EpochLog>();
+        Cycles ts = 100 + 7 * c;
+        for (std::size_t i = 0; i < events_per_core; ++i) {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            ts += rng % 50; // Zero strides: cross-core ts ties happen.
+            const Addr paddr =
+                one_set ? 0x4000 + (rng % 96) * kL3SetStride
+                        : (rng >> 8) % (1ull << 30) & ~Addr{63};
+            if ((rng & 15) == 0) {
+                log->appendProbe(ts, paddr);
+            } else {
+                log->appendAccess(ts, paddr,
+                                  (rng & 3) == 0 ? AccessType::Write
+                                                 : AccessType::Read,
+                                  (rng & 7) == 0);
+            }
+        }
+        logs.push_back(std::move(log));
+    }
+    return logs;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Merge fidelity
+// ---------------------------------------------------------------------
+
+// The ladder merge is an exact replacement for the comparison sort it
+// retired: same access lanes, same probe lanes, on logs with cross-core
+// timestamp ties, explicit probes, writes and walker events.
+TEST(WeaveMerge, LadderMatchesReferenceSort)
+{
+    for (const bool write_probes : {true, false}) {
+        const auto logs = makeLogs(2000, false);
+        core::WeaveStream ladder, reference;
+        core::mergeEpochLogs(logs, ladder, write_probes);
+        referenceMerge(logs, reference, write_probes);
+        expectStreamsEqual(ladder, reference);
+    }
+}
+
+// A pooled log filled to exactly its reserved capacity (the boundary
+// where one more event would reallocate) merges like any other.
+TEST(WeaveMerge, ExactlyFullPooledLog)
+{
+    auto logs = makeLogs(512, false);
+    // Refill log 0 to exactly its pooled capacity.
+    logs[0]->clearEvents();
+    const std::size_t cap = logs[0]->capacity();
+    ASSERT_GT(cap, 0u);
+    for (std::size_t i = 0; i < cap; ++i)
+        logs[0]->appendAccess(200 + 3 * i, (i * 64) & ~Addr{63},
+                              (i & 1) ? AccessType::Write
+                                      : AccessType::Read,
+                              false);
+    ASSERT_EQ(logs[0]->size(), logs[0]->capacity());
+
+    core::WeaveStream ladder, reference;
+    core::mergeEpochLogs(logs, ladder, true);
+    referenceMerge(logs, reference, true);
+    expectStreamsEqual(ladder, reference);
+}
+
+// Single-core fast path: one active log must stream through unchanged.
+TEST(WeaveMerge, SingleLogFastPath)
+{
+    std::vector<std::unique_ptr<core::EpochLog>> logs;
+    logs.push_back(std::make_unique<core::EpochLog>());
+    for (std::size_t i = 0; i < 100; ++i)
+        logs[0]->appendAccess(10 + i, i * 64, AccessType::Read, false);
+    core::WeaveStream ladder, reference;
+    core::mergeEpochLogs(logs, ladder, false);
+    referenceMerge(logs, reference, false);
+    expectStreamsEqual(ladder, reference);
+    EXPECT_EQ(ladder.accesses(), 100u);
+}
+
+// ---------------------------------------------------------------------
+// Sharded replay vs serial, adversarial skew
+// ---------------------------------------------------------------------
+
+// Worst-case shard skew: every access of the chunk maps to one L3 set,
+// so at 4 shards a single shard replays everything while the other
+// three find no work. The post-weave hierarchy state (every tag, LRU
+// stamp, dirty bit, DRAM bank clock) and the per-core billing must
+// still equal the fused serial drain's, byte for byte.
+TEST(WeaveShards, AllHotOneSetByteIdentical)
+{
+    const auto logs = makeLogs(3000, true);
+    core::WeaveStream ws;
+    core::mergeEpochLogs(logs, ws, true);
+    ASSERT_GT(ws.accesses(), 0u);
+    ASSERT_GT(ws.probes(), 0u);
+
+    stats::StatGroup root_a("mem_a"), root_b("mem_b");
+    auto serial = makeHierarchy(&root_a);
+    auto sharded = makeHierarchy(&root_b);
+    warm(*serial);
+    warm(*sharded);
+
+    std::vector<mem::CacheHierarchy::WeaveScratch> sc_serial(1);
+    std::vector<mem::CacheHierarchy::WeaveScratch> sc_sharded(4);
+    runSerial(*serial, ws, sc_serial);
+    runSharded(*sharded, ws, 4, sc_sharded);
+
+    EXPECT_EQ(stateBytes(*serial), stateBytes(*sharded));
+    EXPECT_EQ(billing(sc_serial, 1), billing(sc_sharded, 4));
+    EXPECT_EQ(serial->l3().lruClock(), sharded->l3().lruClock());
+}
+
+// The same property at every supported shard count on an unskewed
+// stream (uniformly scattered sets and banks).
+TEST(WeaveShards, ShardCountSweepByteIdentical)
+{
+    const auto logs = makeLogs(3000, false);
+    core::WeaveStream ws;
+    core::mergeEpochLogs(logs, ws, true);
+
+    stats::StatGroup root_a("mem_a");
+    auto serial = makeHierarchy(&root_a);
+    warm(*serial);
+    std::vector<mem::CacheHierarchy::WeaveScratch> sc_serial(1);
+    runSerial(*serial, ws, sc_serial);
+    const auto want = stateBytes(*serial);
+    const auto want_bill = billing(sc_serial, 1);
+
+    for (const unsigned shards : {2u, 4u, 8u}) {
+        stats::StatGroup root("mem_s");
+        auto h = makeHierarchy(&root);
+        ASSERT_LE(shards, h->maxWeaveShards());
+        warm(*h);
+        std::vector<mem::CacheHierarchy::WeaveScratch> sc(shards);
+        runSharded(*h, ws, shards, sc);
+        EXPECT_EQ(want, stateBytes(*h)) << shards << " shards";
+        EXPECT_EQ(want_bill, billing(sc, shards)) << shards << " shards";
+    }
+}
+
+// A round with no shared-level events at all: both paths must leave the
+// hierarchy byte-identical to its pre-weave state (and the LRU clock
+// unmoved).
+TEST(WeaveShards, ZeroEventRoundIsNoOp)
+{
+    core::WeaveStream empty;
+    stats::StatGroup root("mem_z");
+    auto h = makeHierarchy(&root);
+    warm(*h);
+    const auto before = stateBytes(*h);
+    const auto clock_before = h->l3().lruClock();
+
+    std::vector<mem::CacheHierarchy::WeaveScratch> sc(4);
+    runSerial(*h, empty, sc);
+    EXPECT_EQ(before, stateBytes(*h));
+    runSharded(*h, empty, 4, sc);
+    EXPECT_EQ(before, stateBytes(*h));
+    EXPECT_EQ(clock_before, h->l3().lruClock());
+}
+
+// ---------------------------------------------------------------------
+// System-level worker matrix
+// ---------------------------------------------------------------------
+
+// The full-system property the CI golden matrix also enforces: the
+// complete architectural stats tree is byte-identical at every
+// (bound workers, weave workers) combination in {1,2,4}^2, on a seeded
+// faulting mix.
+TEST(WeaveShards, WorkerMatrixByteIdentical)
+{
+    const auto run = [](unsigned workers, unsigned weave_workers) {
+        core::SystemParams params = core::SystemParams::babelfish();
+        params.num_cores = 4;
+        params.workers = workers;
+        params.weave_workers = weave_workers;
+        params.sync_chunk = 20000;
+        params.kernel.mem_frames = 1 << 22;
+        params.core.quantum = msToCycles(0.25);
+        core::System sys(params);
+
+        const unsigned n = params.num_cores * 2;
+        auto app = workloads::buildApp(sys.kernel(),
+                                       workloads::AppProfile::mongodb(),
+                                       n, 29);
+        auto threads = workloads::makeAppThreads(app, 29);
+        for (unsigned i = 0; i < n; ++i)
+            sys.addThread(i % params.num_cores, threads[i].get());
+
+        sys.run(msToCycles(0.5));
+        sys.resetStats();
+        sys.run(msToCycles(1));
+        return stats::toJsonString(sys.stats());
+    };
+
+    const std::string want = run(1, 1);
+    for (const unsigned w : {1u, 2u, 4u}) {
+        for (const unsigned ww : {1u, 2u, 4u}) {
+            if (w == 1 && ww == 1)
+                continue;
+            EXPECT_EQ(want, run(w, ww))
+                << "workers=" << w << " weave_workers=" << ww;
+        }
+    }
+}

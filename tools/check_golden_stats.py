@@ -16,6 +16,9 @@ Ignored fields, by design:
                          are identical across BF_WORKERS by
                          construction — that is the determinism this
                          check enforces)
+  - config.weave_workers (weave-phase threads inside each System,
+                         BF_WEAVE_WORKERS; byte-identical at any value
+                         like workers — DESIGN.md §15)
   - config.batch        (core prefetch batching, BF_BATCH; a host-side
                          pull-ahead of the per-thread reference streams
                          with stats identical at any value)
@@ -31,7 +34,11 @@ With --bench the bench is run under the pinned environment
 (BF_FAST=1 BF_SAMPLE_MS=0 BF_JOBS=1 BF_WORKERS=1 BF_SYNC_CHUNK=20000)
 into a temp directory; the caller's environment is passed through
 underneath, so checkpoint knobs (BF_CKPT / BF_RESTORE) layer onto the
-pinned run — CI uses that for the save/restore round-trip gate. --update
+pinned run — CI uses that for the save/restore round-trip gate. The
+two determinism axes BF_WORKERS and BF_WEAVE_WORKERS may be overridden
+by the caller (they default to the pinned 1): byte-identity of the
+stats at every worker combination is exactly the property this gate
+proves, so CI re-runs it across the {1,2,4} x {1,2,4} matrix. --update
 rewrites the golden file from the produced output instead of diffing.
 On drift the first mismatching stat paths are printed as a unified
 golden(-) -> produced(+) diff.
@@ -52,7 +59,7 @@ import tempfile
 
 # Top-level keys that describe the host, not the modeled machine.
 IGNORED_TOP_LEVEL = ("schema_version", "host", "notes")
-IGNORED_CONFIG_KEYS = ("jobs", "workers", "batch")
+IGNORED_CONFIG_KEYS = ("jobs", "workers", "weave_workers", "batch")
 
 PINNED_ENV = {
     "BF_FAST": "1",
@@ -117,7 +124,13 @@ EXIT_BENCH_FAILED = 3
 
 def run_bench(bench, out_dir):
     env = dict(os.environ)
-    env.update(PINNED_ENV)
+    pinned = dict(PINNED_ENV)
+    # The determinism axes may be varied by the caller; everything else
+    # stays pinned.
+    for knob in ("BF_WORKERS", "BF_WEAVE_WORKERS"):
+        if knob in os.environ:
+            pinned.pop(knob, None)
+    env.update(pinned)
     env["BF_JSON_DIR"] = out_dir
     try:
         subprocess.run([bench], env=env, check=True,
