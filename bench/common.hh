@@ -100,6 +100,13 @@ struct RunConfig
     std::string trace_dir;     //!< BF_TRACE: event-trace output directory.
     std::uint32_t trace_events = 0xffffffffu; //!< BF_TRACE_EVENTS mask.
     std::uint64_t trace_limit = 0;            //!< BF_TRACE_LIMIT cap.
+    /**
+     * BF_BACKEND: translation backend for every System the bench
+     * builds ("babelfish" | "victima" | "coalesced", DESIGN.md §16).
+     * Stamped by applyExecKnobs, so any bench can run head-to-head
+     * under a competitor design.
+     */
+    translate::BackendKind backend = translate::BackendKind::BabelFish;
 
     static RunConfig
     fromEnv()
@@ -151,6 +158,15 @@ struct RunConfig
                 std::strtoul(mask, nullptr, 0));
         if (const char *limit = std::getenv("BF_TRACE_LIMIT"))
             cfg.trace_limit = std::strtoull(limit, nullptr, 0);
+        if (const char *backend = std::getenv("BF_BACKEND")) {
+            if (!translate::parseBackend(backend, cfg.backend)) {
+                std::fprintf(stderr,
+                             "BF_BACKEND must be babelfish, victima or "
+                             "coalesced (got %s)\n",
+                             backend);
+                std::exit(2);
+            }
+        }
         return cfg;
     }
 
@@ -187,6 +203,7 @@ struct RunConfig
         mix(params.mmu.babelfish);
         mix(params.mmu.force_long_l2);
         mix(params.mmu.aslr_transform_cycles);
+        mix(static_cast<std::uint64_t>(params.mmu.backend));
         const auto mixTlb = [&mix](const tlb::TlbParams &t) {
             mix(t.entries);
             mix(t.assoc);
@@ -268,6 +285,7 @@ struct RunConfig
         params.weave_workers = weave_workers;
         params.sync_chunk = sync_chunk;
         params.core.batch = batch;
+        params.mmu.backend = backend;
     }
 
     /** Sampling period in cycles (0 = sampling off). */
@@ -317,6 +335,11 @@ reportConfig(BenchReport &report, const RunConfig &cfg)
     report.config("trace", cfg.trace_dir);
     report.config("trace_events", static_cast<double>(cfg.trace_events));
     report.config("trace_limit", static_cast<double>(cfg.trace_limit));
+    // Only tag non-reference backends: the reference (default) output
+    // must stay byte-identical to pre-zoo golden files.
+    if (cfg.backend != translate::BackendKind::BabelFish)
+        report.config("backend",
+                      std::string(translate::backendName(cfg.backend)));
 }
 
 /** Serialize a finished System's stats + time series + cap flag. */

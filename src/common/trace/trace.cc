@@ -119,6 +119,7 @@ putConfig(std::vector<std::uint8_t> &buf, const TraceConfig &cfg)
     flags |= cfg.aslr_hw ? 1u << 3 : 0;
     buf.push_back(flags);
     buf.push_back(cfg.opc_width);
+    buf.push_back(cfg.backend);
     while (buf.size() - start < configBytes)
         buf.push_back(0);
     bf_assert(buf.size() - start == configBytes,
@@ -149,6 +150,7 @@ getConfig(const std::uint8_t *p)
     cfg.force_long_l2 = flags & (1u << 2);
     cfg.aslr_hw = flags & (1u << 3);
     cfg.opc_width = p[13];
+    cfg.backend = p[14]; // zero (BabelFish) in pre-zoo traces
     return cfg;
 }
 

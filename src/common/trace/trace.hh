@@ -293,6 +293,13 @@ struct TraceConfig
     bool force_long_l2 = false; //!< Every BabelFish L2 access is long.
     bool aslr_hw = false;       //!< HW ASLR transform on the L1-miss path.
     std::uint8_t opc_width = 0; //!< O-PC bitmask width (max_cow_writers).
+    /**
+     * translate::BackendKind id of the recording run. Carried in a
+     * formerly-zero padding byte, so v2 traces recorded before the
+     * backend zoo decode as 0 (BabelFish, the only backend that
+     * existed) with no version bump.
+     */
+    std::uint8_t backend = 0;
 };
 
 /** On-disk size of the serialized TraceConfig block. */

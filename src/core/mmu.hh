@@ -1,14 +1,16 @@
 /**
  * @file
- * The per-core MMU: L1 I/D TLBs, the unified L2 TLB, the ASLR-HW
- * transform between them, the page-walk cache and walker, and the
- * page-fault retry loop.
+ * The per-core MMU facade: owns the "mmu" stat group, the access-level
+ * counters every backend books into, and the pluggable translation
+ * backend (translate::Backend, DESIGN.md §16) that implements the
+ * actual lookup→fill→walk→fault machinery. MmuParams::backend selects
+ * the design; the rest of the simulator talks to this class exactly as
+ * it did before the interface existed.
  */
 
 #ifndef BF_CORE_MMU_HH
 #define BF_CORE_MMU_HH
 
-#include <array>
 #include <memory>
 
 #include "common/stats.hh"
@@ -20,35 +22,30 @@
 #include "tlb/page_walk_cache.hh"
 #include "tlb/page_walker.hh"
 #include "tlb/tlb.hh"
+#include "translate/backend.hh"
 #include "vm/kernel.hh"
 #include "vm/tlb_hooks.hh"
 
 namespace bf::core
 {
 
-/** Result of one address translation. */
-struct Translation
-{
-    Cycles cycles = 0;     //!< Total translation latency incl. faults.
-    Addr paddr = 0;        //!< Physical address of the access.
-    PageSize size = PageSize::Size4K;
-    bool faulted = false;  //!< Any page fault was taken.
-    /**
-     * Bound phase only: the translation hit a page fault, which was
-     * deferred to the core's epoch log instead of being handled. cycles
-     * holds the probe time spent up to the fault; paddr is invalid. The
-     * core suspends and re-issues after the fault is serviced.
-     */
-    bool blocked = false;
-};
+/** Result of one address translation (see translate::Translation). */
+using Translation = translate::Translation;
 
-/** One core's memory-management unit. */
-class Mmu
+/**
+ * One core's memory-management unit.
+ *
+ * Inherits TranslateStats so the access-level counters keep their
+ * historical homes (`mmu.l1_hits`, `&Mmu::l2_data_hits` member
+ * pointers in the sampler) while the selected backend books into them
+ * by reference.
+ */
+class Mmu : public translate::TranslateStats
 {
   public:
     /**
      * @param core_id owning core.
-     * @param params TLB geometry and BabelFish/ASLR configuration.
+     * @param params TLB geometry and BabelFish/ASLR/backend selection.
      * @param hierarchy cache hierarchy for walks.
      * @param kernel page-table owner / fault handler.
      */
@@ -60,25 +57,33 @@ class Mmu
      * Translate a canonical VA for a process, handling faults.
      * @param now the core's current cycle.
      */
-    Translation translate(vm::Process &proc, Addr canonical_va,
-                          AccessType type, Cycles now);
+    Translation
+    translate(vm::Process &proc, Addr canonical_va, AccessType type,
+              Cycles now)
+    {
+        return backend_->translate(proc, canonical_va, type, now);
+    }
 
-    /** Apply a kernel shootdown to every TLB structure of this core. */
-    void applyInvalidate(const vm::TlbInvalidate &inv);
+    /** Apply a kernel shootdown to every structure of this core. */
+    void
+    applyInvalidate(const vm::TlbInvalidate &inv)
+    {
+        backend_->applyInvalidate(inv);
+    }
 
     /**
      * Attach the core's bound-phase event log (System wires it). While
      * the log is active, translate() defers page faults into it and
      * returns Translation::blocked instead of calling the kernel.
      */
-    void setEpochLog(EpochLog *log) { epoch_log_ = log; }
+    void setEpochLog(EpochLog *log) { backend_->setEpochLog(log); }
 
     /**
      * Attach the run's event tracer (System wires it; null detaches).
      * Also forwards to the page walker. Tracing never changes stats or
      * timing, only what gets recorded.
      */
-    void setTracer(trace::Tracer *tracer);
+    void setTracer(trace::Tracer *tracer) { backend_->setTracer(tracer); }
 
     /**
      * Book the stats of a serviced deferred fault, mirroring what the
@@ -87,34 +92,18 @@ class Mmu
     void noteDeferredFault(const vm::FaultOutcome &outcome,
                            bool declared_cow);
 
-    /** Drop all TLB and PWC state (tests / phase changes). */
-    void flushAll();
+    /** Drop all cached translation state (tests / phase changes). */
+    void flushAll() { backend_->flushAll(); }
 
-    /** @{ @name Structure access for tests */
-    tlb::Tlb &l1d(PageSize size) { return *l1d_[sizeIndex(size)]; }
-    tlb::Tlb &l1i() { return *l1i_4k_; }
-    tlb::Tlb &l2(PageSize size) { return *l2_[sizeIndex(size)]; }
-    tlb::Pwc &pwc() { return *pwc_; }
-    tlb::PageWalker &walker() { return *walker_; }
-    /** @} */
+    /** The selected translation backend. */
+    translate::Backend &backend() { return *backend_; }
 
-    /** @{ @name Statistics (access-level, across page sizes) */
-    stats::Scalar l1_hits;
-    stats::Scalar l1_misses;
-    stats::Scalar l2_data_hits;
-    stats::Scalar l2_data_misses;
-    stats::Scalar l2_instr_hits;
-    stats::Scalar l2_instr_misses;
-    stats::Scalar l2_data_shared_hits;
-    stats::Scalar l2_instr_shared_hits;
-    stats::Scalar l2_long_accesses;   //!< 12-cycle PC-bitmask lookups.
-    stats::Scalar minor_faults;
-    stats::Scalar major_faults;
-    stats::Scalar cow_faults;
-    stats::Scalar shared_installs;
-    stats::Scalar fault_cycles;
-    /** Full translate() latency of accesses that missed both TLB levels. */
-    stats::Distribution miss_latency;
+    /** @{ @name Structure access for tests and the sampler */
+    tlb::Tlb &l1d(PageSize size) { return backend_->l1d(size); }
+    tlb::Tlb &l1i() { return backend_->l1i(); }
+    tlb::Tlb &l2(PageSize size) { return backend_->l2(size); }
+    tlb::Pwc &pwc() { return backend_->pwc(); }
+    tlb::PageWalker &walker() { return backend_->walker(); }
     /** @} */
 
     void resetStats();
@@ -124,122 +113,17 @@ class Mmu
     /**
      * @{
      * @name Checkpointing
-     * All TLB structures and the PWC. The walker holds no mutable
-     * non-stat state, and pb_cache_ is reset on restore: it is a pure
-     * lookup memo with no stat side effects, so re-warming it cannot
-     * perturb the resumed run.
+     * Delegates to the backend: all TLB structures, the PWC, and any
+     * backend-specific state.
      */
-    void save(snap::ArchiveWriter &ar) const;
-    void restore(snap::ArchiveReader &ar);
+    void save(snap::ArchiveWriter &ar) const { backend_->save(ar); }
+    void restore(snap::ArchiveReader &ar) { backend_->restore(ar); }
     /** @} */
 
   private:
-    unsigned core_id_;
     MmuParams params_;
-    mem::CacheHierarchy &hierarchy_;
-    vm::Kernel &kernel_;
     stats::StatGroup stat_group_;
-
-    std::unique_ptr<tlb::Tlb> l1i_4k_;
-    std::array<std::unique_ptr<tlb::Tlb>, numPageSizes> l1d_;
-    std::array<std::unique_ptr<tlb::Tlb>, numPageSizes> l2_;
-    std::unique_ptr<tlb::Pwc> pwc_;
-    std::unique_ptr<tlb::PageWalker> walker_;
-    EpochLog *epoch_log_ = nullptr;
-    trace::Tracer *tracer_ = nullptr;
-
-    /**
-     * Direct-mapped cache of Kernel::processBit answers keyed by
-     * {process, 1 GB region}. A thread's request loop strides across
-     * several regions (code, stack, dataset, buffers), so a single
-     * entry thrashes — a handful indexed by region ⊕ pid captures the
-     * whole working set and turns the per-translate region lookups
-     * into one compare. Correctness: the kernel bumps the group's
-     * mask_generation counter on every mutation that can change a
-     * processBit() answer; each entry stores the counter's address and
-     * the value observed at fill, so a bump — or a different process
-     * or region, including one from another CCID group — misses and
-     * re-queries. Pids are never reused, so a dead process' entry can
-     * never match a live one.
-     */
-    struct PbCache
-    {
-        const std::uint64_t *gen_ptr = nullptr;
-        std::uint64_t gen = 0;
-        Pid pid = 0;
-        Addr region = ~0ull;
-        int bit = -1;
-    };
-    static constexpr std::size_t kPbCacheSize = 16; //!< Power of two.
-    std::array<PbCache, kPbCacheSize> pb_cache_{};
-
-    /** Kernel::processBit through pb_cache_. */
-    int cachedProcessBit(const vm::Process &proc, Addr canonical_va);
-
-    /**
-     * L0 inline translation cache: a small direct-mapped front cache
-     * over lookupL1 that short-circuits the common repeated hit. Each
-     * slot remembers which live TLB entry answered a {VPN, PCID, kind}
-     * lookup; a hit re-validates the entry in place (valid, VPN, PCID)
-     * and replays the exact side effects of the bypassed probe
-     * sequence — per-structure hit/miss counters, the LRU touch, the
-     * +1 cycle, the trace record — so architectural stats stay
-     * byte-identical with the cache on or off.
-     *
-     * Coherence: shootdowns, CoW privatization and eviction all mark
-     * or overwrite the referenced TlbEntry, which the live check
-     * catches. Entries for huge pages additionally replay the misses
-     * of the smaller structures probed before the hit; those replays
-     * assume the earlier structures still miss, so such slots carry
-     * the generation l0_gen_, bumped on every L1 fill and every
-     * shootdown applied to this MMU. Only enabled when the L1 uses the
-     * conventional (non-CCID-shared) lookup; the BabelFish L1 lookup's
-     * candidate semantics are left on the slow path.
-     */
-    struct L0Entry
-    {
-        Vpn vpn4k = ~0ull;            //!< VA >> 12 (slot tag).
-        tlb::TlbEntry *entry = nullptr;
-        tlb::Tlb *owner = nullptr;
-        std::uint64_t gen = 0;
-        Pcid pcid = 0;
-        std::uint8_t shift = 0;       //!< Page shift of the entry.
-        std::uint8_t owner_kind = 0;  //!< 0=l1i, 1+sizeIndex for data.
-        bool is_ifetch = false;
-        bool gen_sensitive = false;   //!< Huge-page slot: check gen.
-    };
-    static constexpr std::size_t kL0Size = 256; //!< Power of two.
-    std::array<L0Entry, kL0Size> l0_{};
-    std::uint64_t l0_gen_ = 1;
-    bool l0_enabled_ = false;
-
-    static std::size_t
-    l0Index(Vpn vpn4k, Pcid pcid, bool ifetch)
-    {
-        return (vpn4k ^ (vpn4k >> 14) ^ (static_cast<Vpn>(pcid) << 3) ^
-                (ifetch ? 0x55u : 0u)) &
-               (kL0Size - 1);
-    }
-
-    /** Remember a slow-path L1 hit for the L0 fast path. */
-    void installL0(Addr va, Pcid pcid, AccessType type, PageSize size,
-                   const tlb::TlbEntry *entry);
-
-    static unsigned sizeIndex(PageSize size)
-    {
-        return static_cast<unsigned>(size);
-    }
-
-    /** Probe the right L1 structures; returns the lookup and size. */
-    tlb::TlbLookup lookupL1(vm::Process &proc, Addr va, AccessType type,
-                            PageSize &size_out, int process_bit);
-    /** Probe the L2 structures. */
-    tlb::TlbLookup lookupL2(vm::Process &proc, Addr va, AccessType type,
-                            PageSize &size_out, int process_bit);
-
-    void fillL1(const tlb::TlbEntry &entry, vm::Process &proc,
-                AccessType type);
-    void fillL2(const tlb::TlbEntry &entry, vm::Process &proc);
+    std::unique_ptr<translate::Backend> backend_;
 };
 
 } // namespace bf::core

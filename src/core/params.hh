@@ -12,6 +12,7 @@
 #include "mem/hierarchy.hh"
 #include "tlb/page_walk_cache.hh"
 #include "tlb/tlb.hh"
+#include "translate/kind.hh"
 #include "vm/kernel.hh"
 
 namespace bf::core
@@ -44,6 +45,14 @@ struct MmuParams
      * every L2 TLB access pay the long (PC-bitmask) access time.
      */
     bool force_long_l2 = false;
+
+    /**
+     * Translation backend (the zoo, DESIGN.md §16). Selects the design
+     * built around the structures above; orthogonal to `babelfish`,
+     * which selects CCID tagging within whichever backend runs. The
+     * BF_BACKEND env knob steers this through the bench runner.
+     */
+    translate::BackendKind backend = translate::BackendKind::BabelFish;
 
     /**
      * L1 TLB entry sharing: only sound under ASLR-SW (same layouts). The

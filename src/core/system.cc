@@ -49,6 +49,7 @@ traceConfig(const SystemParams &params)
     cfg.aslr_hw = mp.aslr == vm::AslrMode::Hw;
     cfg.opc_width =
         static_cast<std::uint8_t>(params.kernel.max_cow_writers);
+    cfg.backend = static_cast<std::uint8_t>(mp.backend);
     return cfg;
 }
 
@@ -425,6 +426,7 @@ System::saveCheckpoint(const std::string &path) const
     ar.u8(static_cast<std::uint8_t>(mp.aslr));
     ar.u64(mp.aslr_transform_cycles);
     ar.b(mp.force_long_l2);
+    ar.u8(static_cast<std::uint8_t>(mp.backend));
     const CoreParams &cp = params_.core;
     ar.f64(cp.base_cpi);
     ar.u64(cp.quantum);
@@ -516,6 +518,8 @@ System::restoreCheckpoint(const std::string &path)
         ck(ar.u64() == mp.aslr_transform_cycles,
            "mmu.aslr_transform_cycles");
         ck(ar.b() == mp.force_long_l2, "mmu.force_long_l2");
+        ck(ar.u8() == static_cast<std::uint8_t>(mp.backend),
+           "mmu.backend");
         const CoreParams &cp = params_.core;
         ck(ar.f64() == cp.base_cpi, "core.base_cpi");
         ck(ar.u64() == cp.quantum, "core.quantum");

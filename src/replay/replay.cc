@@ -7,6 +7,7 @@
 #include "common/stats.hh"
 #include "common/stats_export.hh"
 #include "tlb/page_walker.hh"
+#include "translate/structures.hh"
 #include "vm/kernel.hh"
 #include "vm/paging.hh"
 #include "vm/tlb_hooks.hh"
@@ -73,6 +74,7 @@ paramsFromTrace(const trace::TraceConfig &config)
     p.aslr_hw = config.aslr_hw;
     p.aslr_transform_cycles = config.aslr_transform_cycles;
     p.opc_width = config.opc_width ? config.opc_width : 32;
+    p.backend = static_cast<translate::BackendKind>(config.backend);
     return p;
 }
 
@@ -270,6 +272,21 @@ struct CoreModel
             std::make_unique<tlb::Tlb>(p.l2_1g, &mmu);
         pwc = std::make_unique<tlb::Pwc>(p.pwc, &mmu);
 
+        // Backend-model structures (unused and unregistered for the
+        // reference backend, so its stats shape is unchanged).
+        if (p.backend == translate::BackendKind::Victima) {
+            store = std::make_unique<translate::VictimStore>(
+                p.victima_store_entries);
+            mmu.addStat("victima_spills", &victima_spills);
+            mmu.addStat("victima_hits", &victima_hits);
+        } else if (p.backend == translate::BackendKind::Coalesced) {
+            ranges = std::make_unique<translate::RangeTlb>(
+                p.range_tlb_entries);
+            detector = std::make_unique<translate::RunDetector>();
+            mmu.addStat("range_hits", &range_hits);
+            mmu.addStat("range_installs", &range_installs);
+        }
+
         mmu.addStat("accesses", &accesses);
         mmu.addStat("l1_hits", &l1_hits);
         mmu.addStat("l1_misses", &l1_misses);
@@ -292,6 +309,9 @@ struct CoreModel
     std::unique_ptr<tlb::Tlb> l1d[numPageSizes];
     std::unique_ptr<tlb::Tlb> l2[numPageSizes];
     std::unique_ptr<tlb::Pwc> pwc;
+    std::unique_ptr<translate::VictimStore> store;     //!< Victima only.
+    std::unique_ptr<translate::RangeTlb> ranges;       //!< Coalesced only.
+    std::unique_ptr<translate::RunDetector> detector;  //!< Coalesced only.
 
     stats::Scalar accesses;
     stats::Scalar l1_hits;
@@ -306,6 +326,10 @@ struct CoreModel
     stats::Scalar walks;
     stats::Scalar mem_steps;
     stats::Scalar synth_walks; //!< Walks synthesized (sweeps only).
+    stats::Scalar victima_spills; //!< L2 evictions parked in the store.
+    stats::Scalar victima_hits;   //!< Walks avoided by a store hit.
+    stats::Scalar range_hits;     //!< Base-L2 misses covered by a range.
+    stats::Scalar range_installs; //!< Range (re-)installs from runs.
     stats::Distribution miss_latency;
 
     Counters rec; //!< Tallied from the trace events themselves.
@@ -864,7 +888,28 @@ struct ReplayEngine::Impl
         copy.ccid = ccid;
         copy.pcid = pcid;
         copy.fill_pcid = pcid;
+        if (cm.store) { // Victima: park the displaced entry.
+            tlb::TlbEntry evicted;
+            if (cm.l2[sizeIndex(copy.size)]->fill(copy, p.babelfish,
+                                                  &evicted)) {
+                cm.store->insert(evicted);
+                ++cm.victima_spills;
+            }
+            return;
+        }
         cm.l2[sizeIndex(copy.size)]->fill(copy, p.babelfish);
+        if (cm.detector && copy.size == PageSize::Size4K && !copy.cow &&
+            !copy.orpc && copy.pc_bitmask == 0) {
+            // PFN-contiguity proxy: traces record no physical frames,
+            // so VA adjacency stands in for VA+PA adjacency — an
+            // optimistic bound on coalescing (DESIGN.md §16).
+            translate::RunDetector::Run run;
+            if (cm.detector->note(pcid, copy.vpn, copy.vpn, run)) {
+                cm.ranges->insert(run.base_vpn, run.base_ppn, run.len,
+                                  pcid, ccid);
+                ++cm.range_installs;
+            }
+        }
     }
 
     void
@@ -905,6 +950,14 @@ struct ReplayEngine::Impl
             forEachTlb([&](tlb::Tlb &t) { t.invalidatePcid(inv.pcid); });
             cm.pwc->invalidateAll();
             break;
+        }
+        // Backend-model structures cache translations too — shootdowns
+        // must reach them (same rules as the full-sim backends).
+        if (cm.store)
+            cm.store->invalidate(inv);
+        if (cm.ranges) {
+            cm.ranges->invalidate(inv);
+            cm.detector->clear();
         }
     }
 
@@ -1079,10 +1132,59 @@ struct ReplayEngine::Impl
             fillL1(cm, *l2.entry, pcid, ccid, instr);
             return;
         }
+        // Coalesced: a covering range counts as an L2 hit (the range
+        // structure is probed alongside the L2 at no extra cycles).
+        if (cm.ranges) {
+            if (const translate::RangeEntry *r =
+                    cm.ranges->lookup(att.vpage, pcid)) {
+                ++cm.range_hits;
+                if (instr)
+                    ++cm.l2_instr_hits;
+                else
+                    ++cm.l2_data_hits;
+                tlb::TlbEntry e;
+                e.valid = true;
+                e.vpn = att.vpage;
+                e.ppn = r->base_ppn + (att.vpage - r->base_vpn);
+                e.size = PageSize::Size4K;
+                e.pcid = pcid;
+                e.ccid = ccid;
+                e.writable = true;
+                e.owned = true;
+                e.fill_pcid = pcid;
+                fillL1(cm, e, pcid, ccid, instr);
+                return;
+            }
+        }
         if (instr)
             ++cm.l2_instr_misses;
         else
             ++cm.l2_data_misses;
+
+        // Victima: probe the backing store before walking. A hit bills
+        // the L2 data-array latency and skips the walk entirely.
+        if (cm.store) {
+            for (PageSize size : {PageSize::Size4K, PageSize::Size2M,
+                                  PageSize::Size1G}) {
+                std::size_t slot = 0;
+                const tlb::TlbEntry *e = cm.store->probe(
+                    va >> pageShift(size), size, pcid, ccid, p.babelfish,
+                    process_bit, &slot);
+                if (!e)
+                    continue;
+                if (is_write && e->cow)
+                    break; // must fault: fall through to the walk
+                cycles += p.mem_level_cycles[1];
+                cm.miss_latency.sample(cycles);
+                tlb::TlbEntry recovered = *e;
+                recovered.lru = 0;
+                cm.store->erase(slot);
+                ++cm.victima_hits;
+                fillL2(cm, recovered, pcid, ccid);
+                fillL1(cm, recovered, pcid, ccid, instr);
+                return;
+            }
+        }
 
         ++cm.walks;
         WalkOutcome w = walk ? replayRecordedWalk(cm, *walk)

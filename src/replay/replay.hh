@@ -29,6 +29,7 @@
 #include "common/types.hh"
 #include "tlb/page_walk_cache.hh"
 #include "tlb/tlb.hh"
+#include "translate/kind.hh"
 
 namespace bf::replay
 {
@@ -79,6 +80,26 @@ struct ReplayParams
      * config. Concordant walks reuse the recorded cycle counts.
      */
     Cycles mem_level_cycles[4] = {4, 16, 40, 160};
+
+    /**
+     * @{
+     * @name Translation-backend model (the zoo, DESIGN.md §16)
+     * Defaults to the trace's recording backend via paramsFromTrace();
+     * sweeps override it to ask "what would a Victima/coalesced design
+     * have done on this access stream". Functional approximations when
+     * modeling a competitor over a reference-backend trace:
+     *  - Victima store probes bill mem_level_cycles[1] (the L2 data
+     *    array), with perfect presence metadata as in full-sim.
+     *  - Coalesced-run detection uses VA adjacency as the PFN-adjacency
+     *    proxy (traces do not record physical frames), an optimistic
+     *    upper bound on coalescing opportunity.
+     * Validation (replayed == recorded) only holds for the BabelFish
+     * reference backend at the recording geometry.
+     */
+    translate::BackendKind backend = translate::BackendKind::BabelFish;
+    std::size_t victima_store_entries = 8192;
+    std::size_t range_tlb_entries = 64;
+    /** @} */
 };
 
 /** Build the recording-config ReplayParams from a trace header config. */

@@ -149,8 +149,9 @@ Tlb::lookupBabelFish(Vpn vpn, Ccid ccid, Pcid pcid, int process_bit)
     return result;
 }
 
-void
-Tlb::fill(const TlbEntry &new_entry, bool shared_dedup)
+bool
+Tlb::fill(const TlbEntry &new_entry, bool shared_dedup,
+          TlbEntry *evicted)
 {
     bf_assert(new_entry.size == params_.page_size,
               "TLB ", params_.name, ": wrong page size fill");
@@ -161,6 +162,7 @@ Tlb::fill(const TlbEntry &new_entry, bool shared_dedup)
     const bool dedup_shared = shared_dedup && !new_entry.owned;
     const unsigned assoc = params_.assoc;
     TlbEntry *victim = nullptr;
+    bool same_identity_refill = false;
     for (unsigned way = 0; way < assoc; ++way) {
         TlbEntry &entry = base[way];
         const bool same_identity =
@@ -170,6 +172,7 @@ Tlb::fill(const TlbEntry &new_entry, bool shared_dedup)
             (dedup_shared || entry.pcid == new_entry.pcid);
         if (same_identity) {
             victim = &entry;
+            same_identity_refill = true;
             break;
         }
     }
@@ -194,10 +197,19 @@ Tlb::fill(const TlbEntry &new_entry, bool shared_dedup)
             victim = &base[nextRand() % params_.assoc];
         }
     }
-    if (!victim->valid)
+    bool spilled = false;
+    if (!victim->valid) {
         ++valid_count_;
-    else if (!victim->owned)
+    } else if (!same_identity_refill) {
+        if (!victim->owned)
+            bucketRemove(victim->ccid);
+        if (evicted) {
+            *evicted = *victim;
+            spilled = true;
+        }
+    } else if (!victim->owned) {
         bucketRemove(victim->ccid);
+    }
     *victim = new_entry;
     victim->valid = true;
     victim->lru = ++lru_clock_;
@@ -205,6 +217,7 @@ Tlb::fill(const TlbEntry &new_entry, bool shared_dedup)
         bucketAdd(victim->ccid, victim->vpn);
     syncKeys(static_cast<std::size_t>(victim - entries_.data()));
     ++fills;
+    return spilled;
 }
 
 void

@@ -100,8 +100,15 @@ class Tlb
      *        filling PCID, so refills by different group members coalesce
      *        instead of replicating. Conventional fills keep per-PCID
      *        entries.
+     * @param evicted when non-null, receives the valid entry this fill
+     *        displaced (entry-capacity backends spill it elsewhere);
+     *        left untouched when the fill replaced an invalid way or
+     *        refreshed the same identity.
+     * @return true when a valid, different-identity entry was evicted
+     *        (i.e. @p evicted was written).
      */
-    void fill(const TlbEntry &entry, bool shared_dedup = false);
+    bool fill(const TlbEntry &entry, bool shared_dedup = false,
+              TlbEntry *evicted = nullptr);
 
     /** @{ @name Invalidation */
     /** Drop the (pcid, vpn) entry if present. */

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * The reference translation backend: L1 I/D TLBs, the unified L2 TLB,
+ * the ASLR-HW transform between them, the page-walk cache and walker,
+ * and the page-fault retry loop — the pre-interface core::Mmu pipeline,
+ * extracted behind translate::Backend (DESIGN.md §16).
+ *
+ * The competitor backends (Victima, Coalesced) subclass this and plug
+ * into the protected hook points: the L2 lookup/fill paths, a backfill
+ * probe between the L2 miss and the page walk, and the invalidate /
+ * flush / checkpoint extension hooks. The reference implementation of
+ * every hook is a no-op or the plain pipeline behavior, so the
+ * BabelFish backend's stats stay byte-identical to the pre-interface
+ * Mmu (the golden gate enforces this).
+ */
+
+#ifndef BF_TRANSLATE_PIPELINE_HH
+#define BF_TRANSLATE_PIPELINE_HH
+
+#include <array>
+#include <memory>
+
+#include "common/trace/trace.hh"
+#include "core/params.hh"
+#include "mem/hierarchy.hh"
+#include "tlb/page_walk_cache.hh"
+#include "tlb/page_walker.hh"
+#include "tlb/tlb.hh"
+#include "translate/backend.hh"
+
+namespace bf::translate
+{
+
+/** The reference (BabelFish-capable) pipeline backend. */
+class PipelineBackend : public Backend
+{
+  public:
+    PipelineBackend(unsigned core_id, const core::MmuParams &params,
+                    mem::CacheHierarchy &hierarchy, vm::Kernel &kernel,
+                    TranslateStats &stats, stats::StatGroup &group);
+
+    BackendKind kind() const override { return BackendKind::BabelFish; }
+
+    Translation translate(vm::Process &proc, Addr canonical_va,
+                          AccessType type, Cycles now) override;
+    void applyInvalidate(const vm::TlbInvalidate &inv) override;
+    void setEpochLog(core::EpochLog *log) override { epoch_log_ = log; }
+    void setTracer(trace::Tracer *tracer) override;
+    void flushAll() override;
+    void resetStats() override;
+    void save(snap::ArchiveWriter &ar) const override;
+    void restore(snap::ArchiveReader &ar) override;
+
+    tlb::Tlb &l1i() override { return *l1i_4k_; }
+    tlb::Tlb &l1d(PageSize size) override
+    {
+        return *l1d_[sizeIndex(size)];
+    }
+    tlb::Tlb &l2(PageSize size) override
+    {
+        return *l2_[sizeIndex(size)];
+    }
+    tlb::Pwc &pwc() override { return *pwc_; }
+    tlb::PageWalker &walker() override { return *walker_; }
+
+  protected:
+    /**
+     * @{
+     * @name Competitor hook points
+     * All default to the plain pipeline behavior.
+     */
+    /** Probe the L2 structures (Coalesced adds its range probe). */
+    virtual tlb::TlbLookup lookupL2(vm::Process &proc, Addr va,
+                                    AccessType type, PageSize &size_out,
+                                    int process_bit);
+
+    /**
+     * Insert a walked/backfilled translation into the L2. @p now is the
+     * core cycle at fill time, for hooks that model memory traffic.
+     */
+    virtual void fillL2(const tlb::TlbEntry &entry, vm::Process &proc,
+                        Cycles now);
+
+    /**
+     * Last-chance probe after an L2 TLB miss, before the page walk
+     * (Victima's backing-store lookup). On a hit, write the recovered
+     * translation into @p out, add the probe latency to @p cycles and
+     * return true — translate() then fills the TLBs from @p out and
+     * skips the walk. The default always misses.
+     */
+    virtual bool backfill(vm::Process &proc, Addr va, AccessType type,
+                          int process_bit, Cycles now, Cycles &cycles,
+                          tlb::TlbEntry &out);
+
+    /** Extend a shootdown into competitor structures. */
+    virtual void invalidateExtra(const vm::TlbInvalidate &inv);
+
+    /** Extend flushAll / resetStats into competitor structures. */
+    virtual void flushExtra();
+    virtual void resetExtraStats();
+
+    /** Extend the checkpoint with competitor structures. */
+    virtual void saveExtra(snap::ArchiveWriter &ar) const;
+    virtual void restoreExtra(snap::ArchiveReader &ar);
+    /** @} */
+
+    static unsigned sizeIndex(PageSize size)
+    {
+        return static_cast<unsigned>(size);
+    }
+
+    unsigned core_id_;
+    core::MmuParams params_;
+    mem::CacheHierarchy &hierarchy_;
+    vm::Kernel &kernel_;
+    TranslateStats &st_;
+    stats::StatGroup &group_;
+
+    std::unique_ptr<tlb::Tlb> l1i_4k_;
+    std::array<std::unique_ptr<tlb::Tlb>, numPageSizes> l1d_;
+    std::array<std::unique_ptr<tlb::Tlb>, numPageSizes> l2_;
+    std::unique_ptr<tlb::Pwc> pwc_;
+    std::unique_ptr<tlb::PageWalker> walker_;
+    core::EpochLog *epoch_log_ = nullptr;
+    trace::Tracer *tracer_ = nullptr;
+
+  private:
+    /**
+     * Direct-mapped cache of Kernel::processBit answers keyed by
+     * {process, 1 GB region}. A thread's request loop strides across
+     * several regions (code, stack, dataset, buffers), so a single
+     * entry thrashes — a handful indexed by region ⊕ pid captures the
+     * whole working set and turns the per-translate region lookups
+     * into one compare. Correctness: the kernel bumps the group's
+     * mask_generation counter on every mutation that can change a
+     * processBit() answer; each entry stores the counter's address and
+     * the value observed at fill, so a bump — or a different process
+     * or region, including one from another CCID group — misses and
+     * re-queries. Pids are never reused, so a dead process' entry can
+     * never match a live one.
+     */
+    struct PbCache
+    {
+        const std::uint64_t *gen_ptr = nullptr;
+        std::uint64_t gen = 0;
+        Pid pid = 0;
+        Addr region = ~0ull;
+        int bit = -1;
+    };
+    static constexpr std::size_t kPbCacheSize = 16; //!< Power of two.
+    std::array<PbCache, kPbCacheSize> pb_cache_{};
+
+    /** Kernel::processBit through pb_cache_. */
+    int cachedProcessBit(const vm::Process &proc, Addr canonical_va);
+
+    /**
+     * L0 inline translation cache: a small direct-mapped front cache
+     * over lookupL1 that short-circuits the common repeated hit. Each
+     * slot remembers which live TLB entry answered a {VPN, PCID, kind}
+     * lookup; a hit re-validates the entry in place (valid, VPN, PCID)
+     * and replays the exact side effects of the bypassed probe
+     * sequence — per-structure hit/miss counters, the LRU touch, the
+     * +1 cycle, the trace record — so architectural stats stay
+     * byte-identical with the cache on or off.
+     *
+     * Coherence: shootdowns, CoW privatization and eviction all mark
+     * or overwrite the referenced TlbEntry, which the live check
+     * catches. Entries for huge pages additionally replay the misses
+     * of the smaller structures probed before the hit; those replays
+     * assume the earlier structures still miss, so such slots carry
+     * the generation l0_gen_, bumped on every L1 fill and every
+     * shootdown applied to this backend. Only enabled when the L1 uses
+     * the conventional (non-CCID-shared) lookup; the BabelFish L1
+     * lookup's candidate semantics are left on the slow path.
+     */
+    struct L0Entry
+    {
+        Vpn vpn4k = ~0ull;            //!< VA >> 12 (slot tag).
+        tlb::TlbEntry *entry = nullptr;
+        tlb::Tlb *owner = nullptr;
+        std::uint64_t gen = 0;
+        Pcid pcid = 0;
+        std::uint8_t shift = 0;       //!< Page shift of the entry.
+        std::uint8_t owner_kind = 0;  //!< 0=l1i, 1+sizeIndex for data.
+        bool is_ifetch = false;
+        bool gen_sensitive = false;   //!< Huge-page slot: check gen.
+    };
+    static constexpr std::size_t kL0Size = 256; //!< Power of two.
+    std::array<L0Entry, kL0Size> l0_{};
+    std::uint64_t l0_gen_ = 1;
+    bool l0_enabled_ = false;
+
+    static std::size_t
+    l0Index(Vpn vpn4k, Pcid pcid, bool ifetch)
+    {
+        return (vpn4k ^ (vpn4k >> 14) ^ (static_cast<Vpn>(pcid) << 3) ^
+                (ifetch ? 0x55u : 0u)) &
+               (kL0Size - 1);
+    }
+
+    /** Remember a slow-path L1 hit for the L0 fast path. */
+    void installL0(Addr va, Pcid pcid, AccessType type, PageSize size,
+                   const tlb::TlbEntry *entry);
+
+    /** Probe the right L1 structures; returns the lookup and size. */
+    tlb::TlbLookup lookupL1(vm::Process &proc, Addr va, AccessType type,
+                            PageSize &size_out, int process_bit);
+
+    void fillL1(const tlb::TlbEntry &entry, vm::Process &proc,
+                AccessType type);
+};
+
+} // namespace bf::translate
+
+#endif // BF_TRANSLATE_PIPELINE_HH
