@@ -45,6 +45,14 @@
  *                  see common/trace/trace.hh for the bit order).
  *   BF_TRACE_LIMIT   cap on records written per trace (0 = unlimited;
  *                  excess records are counted as dropped).
+ *   BF_ATTRIB=0    disable per-container attribution (common/attrib,
+ *                  DESIGN.md §17). Default on; the attrib.* stats
+ *                  subtree and the per-run `tenants` report section
+ *                  disappear when off.
+ *   BF_TOP=path    publish the live per-tenant table into this file at
+ *                  chunk barriers (watch with tools/bf_top). Host-side
+ *                  observability only; note that parallel bench jobs
+ *                  share the one file — last writer wins.
  *   BF_LOG=quiet|warn|info  log level (common/logging.hh). Takes
  *                  precedence over the benches' default quieting, so
  *                  `BF_LOG=quiet` also silences warnings and
@@ -100,6 +108,8 @@ struct RunConfig
     std::string trace_dir;     //!< BF_TRACE: event-trace output directory.
     std::uint32_t trace_events = 0xffffffffu; //!< BF_TRACE_EVENTS mask.
     std::uint64_t trace_limit = 0;            //!< BF_TRACE_LIMIT cap.
+    bool attrib = true;        //!< BF_ATTRIB: per-container attribution.
+    std::string top_path;      //!< BF_TOP: live per-tenant table file.
     /**
      * BF_BACKEND: translation backend for every System the bench
      * builds ("babelfish" | "victima" | "coalesced", DESIGN.md §16).
@@ -158,6 +168,10 @@ struct RunConfig
                 std::strtoul(mask, nullptr, 0));
         if (const char *limit = std::getenv("BF_TRACE_LIMIT"))
             cfg.trace_limit = std::strtoull(limit, nullptr, 0);
+        if (const char *attrib = std::getenv("BF_ATTRIB"))
+            cfg.attrib = !(attrib[0] == '0' && attrib[1] == '\0');
+        if (const char *top = std::getenv("BF_TOP"))
+            cfg.top_path = top;
         if (const char *backend = std::getenv("BF_BACKEND")) {
             if (!translate::parseBackend(backend, cfg.backend)) {
                 std::fprintf(stderr,
@@ -221,6 +235,10 @@ struct RunConfig
         mix(params.core.context_switch_cycles);
         mix(params.num_cores);
         mix(params.sync_chunk);
+        // Attribution does not alter simulated state, but it shapes the
+        // checkpoint archive (manifest flag + attrib stats subtree), so
+        // BF_ATTRIB=0 runs must not restore a with-attrib checkpoint.
+        mix(params.attrib);
         mix(params.seed);
         mix(containers_per_core);
         mixDouble(warm_ms);
@@ -286,6 +304,7 @@ struct RunConfig
         params.sync_chunk = sync_chunk;
         params.core.batch = batch;
         params.mmu.backend = backend;
+        params.attrib = attrib;
     }
 
     /** Sampling period in cycles (0 = sampling off). */
@@ -340,6 +359,9 @@ reportConfig(BenchReport &report, const RunConfig &cfg)
     if (cfg.backend != translate::BackendKind::BabelFish)
         report.config("backend",
                       std::string(translate::backendName(cfg.backend)));
+    // Same idea for attribution: tagged only when disabled.
+    if (!cfg.attrib)
+        report.config("attrib", 0.0);
 }
 
 /** Serialize a finished System's stats + time series + cap flag. */
@@ -351,6 +373,10 @@ captureArtifacts(const core::System &sys)
     artifacts.timeseries_json = sys.sampler().toJsonString();
     artifacts.capped = sys.run_capped.value() > 0;
     artifacts.trace_path = sys.params().trace_path;
+    // Sinks are drained at every chunk barrier, so outside run() the
+    // registry already holds the canonical totals.
+    if (const auto *attrib = sys.attrib())
+        artifacts.tenants_json = attrib->tenantsJson();
     return artifacts;
 }
 
@@ -420,6 +446,8 @@ runApp(const workloads::AppProfile &profile,
     core::System sys(params);
     if (cfg.sampleInterval())
         sys.enableSampling(cfg.sampleInterval());
+    if (!cfg.top_path.empty())
+        sys.enableTopFile(cfg.top_path);
 
     const unsigned n = cfg.num_cores * cfg.containers_per_core;
     auto app = workloads::buildApp(sys.kernel(), profile, n, cfg.seed);
@@ -526,6 +554,8 @@ runFaas(core::SystemParams params, bool sparse, const RunConfig &cfg)
     core::System sys(params);
     if (cfg.sampleInterval())
         sys.enableSampling(cfg.sampleInterval());
+    if (!cfg.top_path.empty())
+        sys.enableTopFile(cfg.top_path);
 
     auto group = workloads::buildFaasGroup(
         sys.kernel(), workloads::FunctionProfile::all(), cfg.seed);

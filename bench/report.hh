@@ -17,7 +17,11 @@
  *         "capped": <bool>,
  *         "trace_file": "<path or empty when tracing was off>",
  *         "stats": { <stats::toJson of the System tree> },
- *         "timeseries": { <StatSampler::toJson> }
+ *         "timeseries": { <StatSampler::toJson> },
+ *         "tenants": [ <attrib::Registry::tenantsJson rows: one object
+ *                       per container with the per-tenant counters,
+ *                       miss-latency percentiles, interference scalars
+ *                       and evicted-by maps; [] when BF_ATTRIB=0> ]
  *       }, ...
  *     },
  *     "series": {
@@ -70,6 +74,8 @@ struct RunArtifacts
     std::string stats_json;      //!< stats::toJson of the final tree.
     std::string timeseries_json; //!< StatSampler::toJson.
     std::string trace_path;      //!< Event-trace file ("" = tracing off).
+    std::string tenants_json;    //!< attrib::Registry::tenantsJson
+                                 //!< ("" = attribution off).
     bool capped = false;         //!< Run hit the runUntilFinished cap.
 };
 
@@ -231,6 +237,9 @@ class BenchReport
                << (artifacts.timeseries_json.empty()
                        ? "{}"
                        : artifacts.timeseries_json)
+               << ",\"tenants\":"
+               << (artifacts.tenants_json.empty() ? "[]"
+                                                  : artifacts.tenants_json)
                << '}';
             first = false;
         }

@@ -181,6 +181,64 @@ class Distribution
 
     void reset() { buckets_.clear(); count_ = 0; sum_ = 0; max_ = 0; }
 
+    /**
+     * Fold another distribution into this one. All state is integer and
+     * bucket-wise additive, so merging is order-independent — the result
+     * is bit-identical no matter how samples were split across the
+     * merged parts (the attribution drain relies on this).
+     */
+    void
+    merge(const Distribution &other)
+    {
+        if (other.buckets_.size() > buckets_.size())
+            buckets_.resize(other.buckets_.size(), 0);
+        for (std::size_t i = 0; i < other.buckets_.size(); ++i)
+            buckets_[i] += other.buckets_[i];
+        count_ += other.count_;
+        sum_ += other.sum_;
+        max_ = std::max(max_, other.max_);
+    }
+
+    /**
+     * Fold a *window* of another distribution into this one: the
+     * samples @p cur received since @p base was copied from it (no
+     * reset in between). Buckets, count and sum are exact — bucket-wise
+     * subtraction then addition, so folding consecutive windows is
+     * bit-identical to merge()-ing the same samples. The window's exact
+     * maximum is only observable when cur's overall maximum moved
+     * during the window; otherwise the lower bound of the highest
+     * bucket that grew stands in (always <= the true window max, and
+     * max-over-all-windows still equals cur.max() exactly, because the
+     * window in which the overall max arrived sees it move).
+     *
+     * This is what lets per-tenant attribution ride the global
+     * miss-latency distribution by snapshot/delta instead of paying a
+     * second sample() per event (see core::Core::flushAttribWindow).
+     */
+    void
+    mergeDiff(const Distribution &cur, const Distribution &base)
+    {
+        if (cur.count_ == base.count_)
+            return;
+        if (cur.buckets_.size() > buckets_.size())
+            buckets_.resize(cur.buckets_.size(), 0);
+        std::uint64_t window_max = 0;
+        for (std::size_t i = 0; i < cur.buckets_.size(); ++i) {
+            const std::uint64_t before =
+                i < base.buckets_.size() ? base.buckets_[i] : 0;
+            const std::uint64_t delta = cur.buckets_[i] - before;
+            if (delta) {
+                buckets_[i] += delta;
+                window_max = i ? std::uint64_t{1} << i : 0;
+            }
+        }
+        count_ += cur.count_ - base.count_;
+        sum_ += cur.sum_ - base.sum_;
+        if (cur.max_ != base.max_)
+            window_max = cur.max_;
+        max_ = std::max(max_, window_max);
+    }
+
     /** Overwrite all state (checkpoint restore only). */
     void
     restoreState(std::vector<std::uint64_t> buckets, std::uint64_t count,

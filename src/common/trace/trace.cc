@@ -74,7 +74,7 @@ putRecord(std::vector<std::uint8_t> &buf, const Record &rec)
     putU16(buf, rec.ccid);
     buf.push_back(rec.type);
     buf.push_back(rec.flags);
-    putU16(buf, 0); // pad to 40 bytes
+    putU16(buf, rec.cslot); // v2's zero pad; 40 bytes total
 }
 
 Record
@@ -90,6 +90,7 @@ getRecord(const std::uint8_t *p)
     rec.ccid = getU16(p + 34);
     rec.type = p[36];
     rec.flags = p[37];
+    rec.cslot = getU16(p + 38);
     return rec;
 }
 
@@ -309,7 +310,8 @@ TraceReader::TraceReader(const std::string &path)
     header_.dropped_count = getU64(raw + 32);
     header_.config = getConfig(raw + 48);
     std::string problem;
-    if (header_.version != traceFormatVersion)
+    if (header_.version < traceMinReadVersion ||
+        header_.version > traceFormatVersion)
         problem = "unsupported version " + std::to_string(header_.version) +
                   " (format v" + std::to_string(traceFormatVersion) +
                   " required; re-record the trace)";
@@ -351,6 +353,11 @@ TraceReader::nextBlock(std::vector<Record> &out)
     out.reserve(count);
     for (std::uint32_t i = 0; i < count; ++i)
         out.push_back(getRecord(raw.data() + std::size_t{i} * recordBytes));
+    // v2 wrote a zero pad where v3 keeps the attribution slot; force it
+    // to "none" so slot 0 is never fabricated from old files.
+    if (header_.version < 3)
+        for (Record &rec : out)
+            rec.cslot = noCslot;
     return true;
 }
 

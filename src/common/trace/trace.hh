@@ -49,6 +49,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -227,10 +228,15 @@ inline unsigned shootdownSize(std::uint64_t arg)
 { return static_cast<unsigned>((arg >> 48) & 0x3); }
 /** @} */
 
+/** Record::cslot value for "no container attribution". */
+inline constexpr std::uint16_t noCslot = 0xffff;
+
 /**
  * One traced event, in memory. The on-disk form is the same fields
- * serialized little-endian in declaration order plus 2 zero pad bytes
- * (40 bytes total).
+ * serialized little-endian in declaration order (40 bytes total). The
+ * final u16 — v2's zero pad — is the v3 container-attribution slot
+ * (cslot); reading a v2 file forces it to noCslot, so v2 traces keep
+ * decoding unchanged.
  */
 struct Record
 {
@@ -243,6 +249,7 @@ struct Record
     std::uint16_t ccid = 0;
     std::uint8_t type = 0;   //!< EventType.
     std::uint8_t flags = 0;
+    std::uint16_t cslot = noCslot; //!< Attribution slot (v3; see above).
 };
 
 /** On-disk record size in bytes. */
@@ -310,11 +317,16 @@ inline constexpr std::uint32_t headerBytes = 48 + configBytes;
 
 /**
  * Trace format version. v2 added the header config block, the TlbFill /
- * StatsReset events and the arg packings documented on EventType; the
- * reader is intentionally strict (no v1 compatibility) — a version bump
- * means old trace files must be re-recorded, never reinterpreted.
+ * StatsReset events and the arg packings documented on EventType. v3
+ * repurposes the record's zero pad u16 as the container-attribution
+ * slot (Record::cslot); the reader accepts v2 (forcing cslot to
+ * noCslot) because every other byte is identical. Older versions must
+ * be re-recorded, never reinterpreted.
  */
-inline constexpr std::uint32_t traceFormatVersion = 2;
+inline constexpr std::uint32_t traceFormatVersion = 3;
+
+/** Oldest trace format version the reader still decodes. */
+inline constexpr std::uint32_t traceMinReadVersion = 2;
 
 /** Block frame marker ("BLK1"). */
 inline constexpr std::uint32_t blockMagic = 0x314b4c42;
@@ -355,6 +367,19 @@ class Tracer
     }
 
     /**
+     * Attach the pid → attribution-slot resolver (System wires the
+     * attrib registry's; null detaches). Records stamp the resolved
+     * slot into Record::cslot so post-hoc tools group per container.
+     * Called from bound threads, but the registry only mutates in
+     * single-threaded windows, so the lookup is never raced.
+     */
+    void
+    setSlotLookup(std::function<int(std::uint32_t)> lookup)
+    {
+        slot_lookup_ = std::move(lookup);
+    }
+
+    /**
      * Record one event into @p core's buffer. Thread-safety contract:
      * called either by the host thread running @p core's bound phase,
      * or from a single-threaded window (fault service, weave).
@@ -376,6 +401,11 @@ class Tracer
         rec.ccid = ccid;
         rec.type = static_cast<std::uint8_t>(type);
         rec.flags = flags;
+        if (slot_lookup_) {
+            const int slot = slot_lookup_(pid);
+            if (slot >= 0 && slot < noCslot)
+                rec.cslot = static_cast<std::uint16_t>(slot);
+        }
         bufs_[core].push_back(rec);
     }
 
@@ -440,6 +470,9 @@ class Tracer
     std::vector<std::uint32_t> next_seq_;       //!< Per core, monotone.
     std::vector<Record> merge_buf_;             //!< Reused across flushes.
     std::vector<std::uint8_t> io_buf_;          //!< Reused across flushes.
+
+    /** pid → attribution slot (setSlotLookup); empty = no stamping. */
+    std::function<int(std::uint32_t)> slot_lookup_;
 
     unsigned kctx_core_ = 0;
     Cycles kctx_ts_ = 0;

@@ -1,5 +1,6 @@
 #include "core/core.hh"
 
+#include "common/attrib/attrib.hh"
 #include "common/logging.hh"
 #include "common/snapshot.hh"
 
@@ -158,6 +159,20 @@ Core::runUntil(Cycles until)
         vm::Process *proc = thread->process();
         bf_assert(proc, "thread without process");
 
+        // Close the attribution window when the scheduler put a
+        // different container on the core: everything the global
+        // counters gained since the last flush belongs to the previous
+        // tenant. The common case is one predicted compare.
+        if (sink_ && proc->attribSlot() != attrib_slot_) {
+            flushAttribWindow();
+            attrib_slot_ = proc->attribSlot();
+        }
+
+        // Stamp the issuing tenant so every event this reference defers
+        // to the epoch log carries its slot (weave DRAM-excess billing).
+        if (epoch_log_)
+            epoch_log_->setSlot(proc->attribSlot());
+
         const Translation tr =
             mmu_->translate(*proc, ref.va, ref.type, now_ + base);
 
@@ -239,6 +254,61 @@ Core::applyWeaveAdjustment(Cycles data_extra, Cycles walk_extra)
 }
 
 void
+Core::readAttribCounters(std::uint64_t out[attrib::kNumCounters]) const
+{
+    const translate::TranslateStats &st = *mmu_;
+    out[attrib::kL1Hits] = st.l1_hits.value();
+    out[attrib::kL1Misses] = st.l1_misses.value();
+    out[attrib::kL2DataHits] = st.l2_data_hits.value();
+    out[attrib::kL2DataMisses] = st.l2_data_misses.value();
+    out[attrib::kL2InstrHits] = st.l2_instr_hits.value();
+    out[attrib::kL2InstrMisses] = st.l2_instr_misses.value();
+    out[attrib::kL2DataSharedHits] = st.l2_data_shared_hits.value();
+    out[attrib::kL2InstrSharedHits] = st.l2_instr_shared_hits.value();
+    out[attrib::kL2Long] = st.l2_long_accesses.value();
+    out[attrib::kMinorFaults] = st.minor_faults.value();
+    out[attrib::kMajorFaults] = st.major_faults.value();
+    out[attrib::kCowFaults] = st.cow_faults.value();
+    out[attrib::kSharedInstalls] = st.shared_installs.value();
+    out[attrib::kFaultCycles] = st.fault_cycles.value();
+    out[attrib::kWalks] = mmu_->walker().walks.value();
+    out[attrib::kInstructions] = instructions.value();
+}
+
+void
+Core::flushAttribWindow()
+{
+    if (!sink_)
+        return;
+    std::uint64_t cur[attrib::kNumCounters];
+    readAttribCounters(cur);
+    for (unsigned c = 0; c < attrib::kNumCounters; ++c) {
+        // Counters are monotone between flushes; the delta since the
+        // base snapshot is exactly what the current tenant's events
+        // booked into the globals.
+        const std::uint64_t delta = cur[c] - attrib_base_[c];
+        if (delta)
+            sink_->add(attrib_slot_, static_cast<attrib::Counter>(c),
+                       delta);
+        attrib_base_[c] = cur[c];
+    }
+    const stats::Distribution &lat = mmu_->miss_latency;
+    if (lat.count() != attrib_lat_base_.count()) {
+        sink_->mergeMissLatencyWindow(attrib_slot_, lat,
+                                      attrib_lat_base_);
+        attrib_lat_base_ = lat;
+    }
+}
+
+void
+Core::syncAttribWindow()
+{
+    readAttribCounters(attrib_base_);
+    attrib_lat_base_ = mmu_->miss_latency;
+    attrib_slot_ = -1; // the next reference re-stamps it
+}
+
+void
 Core::resetStats()
 {
     instructions.reset();
@@ -248,6 +318,10 @@ Core::resetStats()
     data_cycles.reset();
     context_switches.reset();
     mmu_->resetStats();
+    // The globals just moved underneath the attribution window; re-base
+    // so the next flush books only post-reset deltas (the Registry's
+    // own resetCoreStats resets the tenant side to match).
+    syncAttribWindow();
 }
 
 void

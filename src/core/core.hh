@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/attrib/attrib.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "core/mmu.hh"
@@ -77,6 +78,50 @@ class Core
     Mmu &mmu() { return *mmu_; }
     unsigned id() const { return id_; }
 
+    /**
+     * Attach the core's bound-phase event log (System wires it; null
+     * detaches). Forwards to the MMU and keeps the pointer so the core
+     * can stamp the issuing tenant's slot onto logged events.
+     */
+    void
+    setEpochLog(EpochLog *log)
+    {
+        epoch_log_ = log;
+        mmu_->setEpochLog(log);
+    }
+
+    /**
+     * Attach the per-container attribution registry and this core's
+     * sink (System wires them; nulls detach). Forwards to the MMU and
+     * keeps the sink for the window-delta booking below.
+     */
+    void
+    setAttrib(attrib::Registry *registry, attrib::CoreSink *sink)
+    {
+        sink_ = sink;
+        mmu_->setAttrib(registry, sink);
+        syncAttribWindow();
+    }
+
+    /**
+     * @{
+     * @name Attribution windows
+     * The per-tenant mirrors of the access counters are not booked per
+     * event: every event between two scheduler switch points belongs to
+     * the process the core was running, so the core snapshots the
+     * global counters (MMU TranslateStats, walker walks, instructions,
+     * miss-latency buckets) and credits the delta to the tenant at slot
+     * switches and chunk barriers. flushAttribWindow books the pending
+     * window to the current slot and re-bases; syncAttribWindow
+     * re-bases without booking (after a stats reset or checkpoint
+     * restore rewrote the globals underneath). System calls flush on
+     * every core before each Registry::drain, so the tenant subtree is
+     * complete whenever it is observable.
+     */
+    void flushAttribWindow();
+    void syncAttribWindow();
+    /** @} */
+
     /** Run queue, in scheduling order (checkpointing walks threads). */
     const std::vector<Thread *> &threads() const { return threads_; }
 
@@ -112,6 +157,16 @@ class Core
     mem::CacheHierarchy &hierarchy_;
     stats::StatGroup stat_group_;
     std::unique_ptr<Mmu> mmu_;
+    EpochLog *epoch_log_ = nullptr;
+    attrib::CoreSink *sink_ = nullptr;
+
+    /** @{ @name Attribution window state (see flushAttribWindow) */
+    int attrib_slot_ = -1; //!< Tenant owning the pending window.
+    std::uint64_t attrib_base_[attrib::kNumCounters] = {};
+    stats::Distribution attrib_lat_base_; //!< miss_latency snapshot.
+    /** Current global counter values, in attrib lane order. */
+    void readAttribCounters(std::uint64_t out[attrib::kNumCounters]) const;
+    /** @} */
 
     std::vector<Thread *> threads_;
     /**

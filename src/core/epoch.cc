@@ -38,6 +38,7 @@ emitEvent(const EpochLog &log, std::size_t i, unsigned core,
         out.paddr.push_back(log.paddr(i));
         out.core.push_back(static_cast<std::uint8_t>(core));
         out.flags.push_back(flags);
+        out.slot.push_back(log.slot(i));
     }
 }
 
@@ -76,6 +77,7 @@ mergeEpochLogs(const std::vector<std::unique_ptr<EpochLog>> &logs,
     out.paddr.reserve(total);
     out.core.reserve(total);
     out.flags.reserve(total);
+    out.slot.reserve(total);
 
     // Single-run fast path: one core issued every event this chunk
     // (FaaS groups run on one core), so its log already is the

@@ -66,6 +66,23 @@ class EpochLog
     void activate() { active_ = true; }
     void deactivate() { active_ = false; }
 
+    /** Sentinel slot value: event not attributed to any tenant. */
+    static constexpr std::uint16_t noSlot = 0xffff;
+
+    /**
+     * Stamp the attribution slot of the issuing container; every event
+     * appended until the next call carries it (the core stamps before
+     * each reference issues). The slot rides the log so the weave can
+     * bill its DRAM-excess to the issuing tenant (-1 = unattributed).
+     */
+    void
+    setSlot(int slot)
+    {
+        cur_slot_ = (slot < 0 || slot >= noSlot)
+                        ? noSlot
+                        : static_cast<std::uint16_t>(slot);
+    }
+
     /** Record an L2-miss access deferred to the shared levels. */
     void
     appendAccess(Cycles ts, Addr paddr, AccessType type, bool from_walker)
@@ -77,6 +94,7 @@ class EpochLog
         ts_.push_back(ts);
         paddr_.push_back(paddr);
         flags_.push_back(flags);
+        slot_.push_back(cur_slot_);
     }
 
     /** Record a coherence probe for an L1/L2 write hit. */
@@ -86,6 +104,7 @@ class EpochLog
         ts_.push_back(ts);
         paddr_.push_back(paddr);
         flags_.push_back(flagWrite | flagProbe);
+        slot_.push_back(cur_slot_);
     }
 
     /** @{ @name Deferred page fault (at most one; the core suspends) */
@@ -111,6 +130,7 @@ class EpochLog
     Cycles ts(std::size_t i) const { return ts_[i]; }
     Addr paddr(std::size_t i) const { return paddr_[i]; }
     std::uint8_t flags(std::size_t i) const { return flags_[i]; }
+    std::uint16_t slot(std::size_t i) const { return slot_[i]; }
     /** @} */
 
     /** Pre-size the pooled buffers (tests / capacity-boundary checks). */
@@ -120,6 +140,7 @@ class EpochLog
         ts_.reserve(n);
         paddr_.reserve(n);
         flags_.reserve(n);
+        slot_.reserve(n);
     }
 
     /** Pooled capacity currently held (timestamps lane). */
@@ -132,12 +153,15 @@ class EpochLog
         ts_.clear();
         paddr_.clear();
         flags_.clear();
+        slot_.clear();
     }
 
   private:
     std::vector<Cycles> ts_;
     std::vector<Addr> paddr_;
     std::vector<std::uint8_t> flags_;
+    std::vector<std::uint16_t> slot_; //!< Issuing tenant per event.
+    std::uint16_t cur_slot_ = noSlot;
     vm::DeferredFault fault_{};
     Cycles fault_ts_ = 0;
     bool fault_pending_ = false;
@@ -171,6 +195,8 @@ struct WeaveStream
     std::vector<std::uint8_t> core;
     std::vector<std::uint8_t> flags; //!< EpochLog::flagWrite/flagWalker.
     std::vector<std::uint8_t> hit;   //!< L3 pass outcome, per access.
+    std::vector<std::uint16_t> slot; //!< Issuing tenant (EpochLog::noSlot
+                                     //!< = unattributed).
     /** @} */
 
     /** @{ @name Probes, canonical order */
@@ -190,6 +216,7 @@ struct WeaveStream
         core.clear();
         flags.clear();
         hit.clear();
+        slot.clear();
         probe_paddr.clear();
         probe_core.clear();
     }

@@ -34,8 +34,10 @@ Mmu::Mmu(unsigned core_id, const MmuParams &params,
 }
 
 void
-Mmu::noteDeferredFault(const vm::FaultOutcome &outcome, bool declared_cow)
+Mmu::noteDeferredFault(const vm::Process &proc,
+                       const vm::FaultOutcome &outcome, bool declared_cow)
 {
+    (void)proc;
     fault_cycles += outcome.cycles;
     if (declared_cow) {
         // The TLB-hit CoW sites count cow_faults unconditionally, even

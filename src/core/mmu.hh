@@ -86,10 +86,26 @@ class Mmu : public translate::TranslateStats
     void setTracer(trace::Tracer *tracer) { backend_->setTracer(tracer); }
 
     /**
-     * Book the stats of a serviced deferred fault, mirroring what the
-     * serial retry loop would have counted at the fault site.
+     * Attach the per-container attribution registry and this core's
+     * sink (System wires them; nulls detach). Forwards to the backend,
+     * which books only the TLB eviction edges — the scalar mirrors come
+     * from the core's window deltas (Core::flushAttribWindow).
      */
-    void noteDeferredFault(const vm::FaultOutcome &outcome,
+    void
+    setAttrib(attrib::Registry *registry, attrib::CoreSink *sink)
+    {
+        backend_->setAttrib(registry, sink);
+    }
+
+    /**
+     * Book the stats of a serviced deferred fault, mirroring what the
+     * serial retry loop would have counted at the fault site. The
+     * counters land in the blocked core's open attribution window,
+     * which still belongs to the faulting process (@p proc, unused
+     * here, documents that ownership).
+     */
+    void noteDeferredFault(const vm::Process &proc,
+                           const vm::FaultOutcome &outcome,
                            bool declared_cow);
 
     /** Drop all cached translation state (tests / phase changes). */

@@ -136,6 +136,17 @@ struct SystemParams
     std::uint64_t trace_limit = 0;
     /** @} */
 
+    /**
+     * Per-container attribution (common/attrib, DESIGN.md §17): tag
+     * every translation/memory event with its issuing container and
+     * accumulate a per-tenant stats subtree plus interference edges
+     * (TLB evictions, shootdowns, weave DRAM excess). Deterministic and
+     * exact — the sum over tenants equals the global counters
+     * bit-for-bit — so it defaults on; BF_ATTRIB=0 disables it (the
+     * golden stats are recorded with it on).
+     */
+    bool attrib = true;
+
     /** A fully wired Baseline configuration (no BabelFish anywhere). */
     static SystemParams
     baseline()

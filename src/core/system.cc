@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <optional>
 
 #include "common/logging.hh"
@@ -72,8 +74,16 @@ System::System(const SystemParams &params)
             i, params_.core, params_.mmu, *hierarchy_, *kernel_,
             &stat_group_));
         epoch_logs_.push_back(std::make_unique<EpochLog>());
-        cores_[i]->mmu().setEpochLog(epoch_logs_[i].get());
+        cores_[i]->setEpochLog(epoch_logs_[i].get());
         hierarchy_->setEpochLog(i, epoch_logs_[i].get());
+    }
+
+    if (params_.attrib) {
+        attrib_ = std::make_unique<attrib::Registry>(&stat_group_,
+                                                     params_.num_cores);
+        kernel_->setAttribRegistry(attrib_.get());
+        for (unsigned i = 0; i < params_.num_cores; ++i)
+            cores_[i]->setAttrib(attrib_.get(), attrib_->sink(i));
     }
 
     // More bound workers than cores cannot help; more weave workers
@@ -105,6 +115,10 @@ System::System(const SystemParams &params)
             kernel_->setTracer(tracer_.get());
             for (auto &core : cores_)
                 core->mmu().setTracer(tracer_.get());
+            if (attrib_)
+                tracer_->setSlotLookup([this](std::uint32_t pid) {
+                    return attrib_->slotOfPid(pid);
+                });
         } else {
             tracer_.reset();
         }
@@ -194,7 +208,8 @@ System::runChunk(Cycles barrier)
                      fault.canonical_va >> pageShift(fault.stale_size),
                      1, fault.stale_size});
             }
-            mmu.noteDeferredFault(outcome, fault.declared_cow);
+            mmu.noteDeferredFault(*fault.proc, outcome,
+                                  fault.declared_cow);
             cores_[pf.core]->resolveFault(outcome.cycles);
         }
 
@@ -211,10 +226,25 @@ System::runChunk(Cycles barrier)
     for (auto &log : epoch_logs_)
         log->deactivate();
     weave();
+    // Fold the per-core attribution sinks at the barrier: single-
+    // threaded, fixed core order, so per-tenant totals are canonical
+    // and complete whenever the system is observable from outside.
+    drainAttrib();
+    maybeWriteTop();
     // Flush after the weave so every chunk appends exactly one
     // canonically ordered block (see common/trace/trace.hh).
     if (tracer_)
         tracer_->flushBarrier();
+}
+
+void
+System::drainAttrib() const
+{
+    if (!attrib_)
+        return;
+    for (auto &core : cores_)
+        core->flushAttribWindow();
+    attrib_->drain();
 }
 
 void
@@ -241,8 +271,13 @@ System::weave()
 
     const std::uint64_t num_accesses = weave_stream_.accesses();
     const std::uint64_t lru_base = hierarchy_->l3().lruClock();
+    // Per-tenant DRAM-excess lanes: sized at weave time, after every
+    // fault window of the chunk, so any slot a logged event can carry
+    // already exists.
+    const unsigned nslots =
+        attrib_ ? static_cast<unsigned>(attrib_->numTenants()) : 0;
     if (weave_workers_ <= 1) {
-        weave_scratch_[0].reset(numCores());
+        weave_scratch_[0].reset(numCores(), nslots);
         hierarchy_->weaveSerial(weave_stream_, lru_base,
                                 weave_scratch_[0]);
     } else {
@@ -256,7 +291,7 @@ System::weave()
             w,
             [&](unsigned s) {
                 auto &sc = weave_scratch_[s];
-                sc.reset(numCores());
+                sc.reset(numCores(), nslots);
                 hierarchy_->weaveSharedPass(weave_stream_, s, w,
                                             lru_base, sc);
                 hierarchy_->weaveProbePass(weave_stream_, s, w, sc);
@@ -283,6 +318,20 @@ System::weave()
         }
         if (data_extra || walk_extra)
             cores_[c]->applyWeaveAdjustment(data_extra, walk_extra);
+    }
+
+    // And per issuing tenant, likewise in fixed slot order (the same
+    // sums over shards, so totals are shard-count-independent).
+    for (unsigned t = 0; t < nslots; ++t) {
+        Cycles data_extra = 0, walk_extra = 0;
+        for (unsigned s = 0; s < shards; ++s) {
+            data_extra += weave_scratch_[s].slot_data_extra[t];
+            walk_extra += weave_scratch_[s].slot_walk_extra[t];
+        }
+        if (data_extra)
+            attrib_->addDramExtra(static_cast<int>(t), false, data_extra);
+        if (walk_extra)
+            attrib_->addDramExtra(static_cast<int>(t), true, walk_extra);
     }
     phase_times_.weave_seconds +=
         std::chrono::duration<double>(hostclock::now() - t_weave)
@@ -345,6 +394,13 @@ System::enableSampling(Cycles interval)
         sampler_.addProbe("cow_faults", [this] {
             return kernel_->cow_faults.value();
         });
+        if (attrib_) {
+            // Headline interference series: L2 TLB evictions whose
+            // aggressor and victim sit in different CCID groups.
+            sampler_.addProbe("cross_l2_evictions", [this] {
+                return attrib_->crossL2Evictions();
+            });
+        }
     }
     sampler_.setInterval(interval);
 }
@@ -427,6 +483,7 @@ System::saveCheckpoint(const std::string &path) const
     ar.u64(mp.aslr_transform_cycles);
     ar.b(mp.force_long_l2);
     ar.u8(static_cast<std::uint8_t>(mp.backend));
+    ar.b(params_.attrib);
     const CoreParams &cp = params_.core;
     ar.f64(cp.base_cpi);
     ar.u64(cp.quantum);
@@ -469,6 +526,11 @@ System::saveCheckpoint(const std::string &path) const
     sampler_.save(ar);
     ar.endSection();
 
+    // Sinks are drained at every chunk barrier, but direct translate()
+    // calls outside run() (tests) may leave booked-but-undrained lanes
+    // or an open per-core window; fold them so the STAT section holds
+    // the complete totals.
+    drainAttrib();
     ar.beginSection("STAT");
     stat_group_.saveStats(ar);
     ar.endSection();
@@ -520,6 +582,7 @@ System::restoreCheckpoint(const std::string &path)
         ck(ar.b() == mp.force_long_l2, "mmu.force_long_l2");
         ck(ar.u8() == static_cast<std::uint8_t>(mp.backend),
            "mmu.backend");
+        ck(ar.b() == params_.attrib, "attrib");
         const CoreParams &cp = params_.core;
         ck(ar.f64() == cp.base_cpi, "core.base_cpi");
         ck(ar.u64() == cp.quantum, "core.quantum");
@@ -567,9 +630,18 @@ System::restoreCheckpoint(const std::string &path)
         sampler_.restore(ar);
         ar.exitSection();
 
+        // Zero any undrained sink lanes and open windows first (drain
+        // folds them into tenant scalars restoreStats is about to
+        // overwrite).
+        drainAttrib();
         ar.enterSection("STAT");
         stat_group_.restoreStats(ar);
         ar.exitSection();
+        // The restore just rewrote the global counters underneath the
+        // cores' window bases; re-base so the next flush credits only
+        // post-restore growth.
+        for (auto &core : cores_)
+            core->syncAttribWindow();
 
         if (!ar.atEnd())
             throw snap::SnapshotError("trailing bytes after last section");
@@ -595,6 +667,50 @@ System::enableAutoCheckpoint(std::string path, Cycles interval)
     for (const auto &core : cores_)
         start = std::max(start, core->now());
     autosave_next_ = start + interval;
+}
+
+void
+System::enableTopFile(std::string path, double min_interval_seconds)
+{
+    if (!attrib_)
+        return;
+    top_path_ = std::move(path);
+    top_interval_ = min_interval_seconds;
+    top_start_host_ =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+    top_last_write_ = -top_interval_; // First barrier writes at once.
+    top_instr_base_ = totalInstructions();
+}
+
+void
+System::maybeWriteTop()
+{
+    if (top_path_.empty() || !attrib_)
+        return;
+    const double now =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count() -
+        top_start_host_;
+    if (now - top_last_write_ < top_interval_)
+        return;
+    top_last_write_ = now;
+    const double mips =
+        now > 0 ? static_cast<double>(totalInstructions() -
+                                      top_instr_base_) /
+                      1e6 / now
+                : -1.0;
+    // Atomic publish: readers (bf_top) never see a torn table.
+    const std::string tmp = top_path_ + ".tmp";
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out)
+        return;
+    out << attrib_->renderTable(mips);
+    out.close();
+    if (out)
+        std::rename(tmp.c_str(), top_path_.c_str());
 }
 
 void
@@ -625,6 +741,12 @@ System::resetStats()
     for (auto &core : cores_)
         core->resetStats();
     hierarchy_->resetStats();
+    // Mirror the scope of the resets above: core-sourced tenant stats
+    // reset, kernel-sourced ones (CoW, shootdowns) survive like the
+    // kernel's own, so per-tenant sums still reconcile with the
+    // globals after a warm-up reset.
+    if (attrib_)
+        attrib_->resetCoreStats();
     run_capped.reset();
     if (sampler_.enabled())
         sampler_.beginPhase();

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/attrib/attrib.hh"
 #include "common/stats.hh"
 #include "common/trace/trace.hh"
 #include "core/core.hh"
@@ -95,6 +96,25 @@ class System
     /** The time-series sampler (empty unless enableSampling was called). */
     StatSampler &sampler() { return sampler_; }
     const StatSampler &sampler() const { return sampler_; }
+
+    /**
+     * The per-container attribution registry (common/attrib), or
+     * nullptr when params.attrib is off. Sinks are drained at every
+     * chunk barrier, so outside run() the registry always shows the
+     * complete, canonical per-tenant totals.
+     */
+    attrib::Registry *attrib() { return attrib_.get(); }
+    const attrib::Registry *attrib() const { return attrib_.get(); }
+
+    /**
+     * Periodically render the live per-tenant table (bf_top's data
+     * source) into @p path: at most every @p min_interval_seconds of
+     * host time, written atomically (tmp + rename) at a chunk barrier.
+     * Host-side observability only — never touches simulated state.
+     * Benches wire BF_TOP. No-op when attribution is off.
+     */
+    void enableTopFile(std::string path,
+                       double min_interval_seconds = 0.5);
 
     /**
      * The event tracer, or nullptr when params.trace_path is empty (or
@@ -176,6 +196,16 @@ class System
     std::vector<std::unique_ptr<Core>> cores_;
     StatSampler sampler_;
     std::unique_ptr<trace::Tracer> tracer_;
+    std::unique_ptr<attrib::Registry> attrib_;
+
+    /** @{ @name Live bf_top table (enableTopFile) */
+    std::string top_path_;
+    double top_interval_ = 0.5;
+    double top_last_write_ = 0;    //!< Host seconds since top_start_.
+    double top_start_host_ = 0;    //!< steady_clock origin, seconds.
+    std::uint64_t top_instr_base_ = 0; //!< Instructions at enable time.
+    void maybeWriteTop();
+    /** @} */
 
     /** @{ @name Two-phase chunk execution (see core/epoch.hh) */
     std::vector<std::unique_ptr<EpochLog>> epoch_logs_; //!< Per core.
@@ -206,6 +236,14 @@ class System
 
     /** Advance every core to @p barrier: bound, fault service, weave. */
     void runChunk(Cycles barrier);
+    /**
+     * Flush every core's pending attribution window, then fold the
+     * per-core sinks into the registry's tenant scalars. No-op when
+     * attribution is off. Single-threaded, fixed core order. Const
+     * because it only moves already-earned credit between observability
+     * mirrors (saveCheckpoint needs the complete totals).
+     */
+    void drainAttrib() const;
     /**
      * Replay the merged logs in canonical order: fused on this thread
      * at weave_workers_ == 1, sharded across the pool otherwise

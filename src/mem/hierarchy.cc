@@ -138,10 +138,16 @@ CacheHierarchy::weaveSerial(const core::WeaveStream &ws,
             const Cycles extra =
                 dram_->weaveAccess(paddr, ws.ts[i], is_write, sc.dram);
             const unsigned core = ws.core[i];
-            if (flags & core::EpochLog::flagWalker)
+            const std::uint16_t slot = ws.slot[i];
+            if (flags & core::EpochLog::flagWalker) {
                 sc.walk_extra[core] += extra;
-            else
+                if (slot < sc.slot_walk_extra.size())
+                    sc.slot_walk_extra[slot] += extra;
+            } else {
                 sc.data_extra[core] += extra;
+                if (slot < sc.slot_data_extra.size())
+                    sc.slot_data_extra[slot] += extra;
+            }
         }
     }
     if (!coherence_active_)
@@ -209,10 +215,16 @@ CacheHierarchy::weaveDramPass(const core::WeaveStream &ws, unsigned shard,
         const Cycles extra = dram_->weaveAccess(
             paddr, ws.ts[i], flags & core::EpochLog::flagWrite, sc.dram);
         const unsigned core = ws.core[i];
-        if (flags & core::EpochLog::flagWalker)
+        const std::uint16_t slot = ws.slot[i];
+        if (flags & core::EpochLog::flagWalker) {
             sc.walk_extra[core] += extra;
-        else
+            if (slot < sc.slot_walk_extra.size())
+                sc.slot_walk_extra[slot] += extra;
+        } else {
             sc.data_extra[core] += extra;
+            if (slot < sc.slot_data_extra.size())
+                sc.slot_data_extra[slot] += extra;
+        }
     }
 }
 

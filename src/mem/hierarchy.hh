@@ -106,15 +106,25 @@ class CacheHierarchy
         std::vector<Cycles> data_extra;          //!< Per core.
         std::vector<Cycles> walk_extra;          //!< Per core.
         std::vector<std::uint64_t> probe_inval;  //!< Per core × 3 (I/D/2).
+        /**
+         * Per-tenant DRAM-excess bills, parallel to data_extra /
+         * walk_extra but keyed by the attribution slot the event
+         * carries (core/epoch.hh). Sized by reset()'s num_slots (0
+         * when attribution is off — the replay loops skip the lanes).
+         */
+        std::vector<Cycles> slot_data_extra;
+        std::vector<Cycles> slot_walk_extra;
 
         void
-        reset(unsigned num_cores)
+        reset(unsigned num_cores, unsigned num_slots = 0)
         {
             l3 = CacheTally{};
             dram = DramTally{};
             data_extra.assign(num_cores, 0);
             walk_extra.assign(num_cores, 0);
             probe_inval.assign(num_cores * 3u, 0);
+            slot_data_extra.assign(num_slots, 0);
+            slot_walk_extra.assign(num_slots, 0);
         }
     };
 

@@ -40,6 +40,12 @@
 #include "vm/kernel.hh"
 #include "vm/tlb_hooks.hh"
 
+namespace bf::attrib
+{
+class CoreSink;
+class Registry;
+}
+
 namespace bf::core
 {
 struct MmuParams;
@@ -136,6 +142,23 @@ class Backend
 
     /** Attach the run's event tracer (null detaches). */
     virtual void setTracer(trace::Tracer *tracer) = 0;
+
+    /**
+     * Attach the per-container attribution registry and this core's
+     * private sink (System wires them; nulls detach). A backend with a
+     * sink books per-tenant counters at the same sites as the
+     * TranslateStats it already books — the sum over tenants must
+     * equal the global counters bit-for-bit — and attributes TLB
+     * evictions via the owner tags of displaced entries. Part of the
+     * shared Backend surface so the zoo stays comparable per-tenant;
+     * the default keeps attribution off for backends that opt out.
+     */
+    virtual void setAttrib(attrib::Registry *registry,
+                           attrib::CoreSink *sink)
+    {
+        (void)registry;
+        (void)sink;
+    }
 
     /** Drop all cached translation state (tests / phase changes). */
     virtual void flushAll() = 0;

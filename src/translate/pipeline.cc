@@ -1,5 +1,6 @@
 #include "translate/pipeline.hh"
 
+#include "common/attrib/attrib.hh"
 #include "common/logging.hh"
 #include "common/snapshot.hh"
 
@@ -129,21 +130,50 @@ PipelineBackend::lookupL2(vm::Process &proc, Addr va, AccessType type,
 }
 
 void
+PipelineBackend::noteL1Evicted(const vm::Process &proc,
+                               const tlb::TlbEntry &evicted)
+{
+    // L1 copies are per-process: the PCID tag is the victim's owner.
+    if (sink_)
+        sink_->noteL1Eviction(proc.attribSlot(),
+                              areg_->slotOfPcid(evicted.pcid));
+}
+
+void
+PipelineBackend::noteL2Evicted(const vm::Process &proc,
+                               const tlb::TlbEntry &evicted)
+{
+    // Owned entries are tagged with the owner; shared (O-clear) entries
+    // carry the filler in fill_pcid — bill the victim that paid for the
+    // fill.
+    if (sink_)
+        sink_->noteL2Eviction(
+            proc.attribSlot(),
+            areg_->slotOfPcid(evicted.owned ? evicted.pcid
+                                            : evicted.fill_pcid));
+}
+
+void
 PipelineBackend::fillL1(const tlb::TlbEntry &entry, vm::Process &proc,
                         AccessType type)
 {
     tlb::TlbEntry copy = entry;
     copy.pcid = proc.pcid();
     copy.ccid = proc.ccid();
+    tlb::TlbEntry evicted;
     if (isIfetch(type)) {
-        if (copy.size == PageSize::Size4K)
-            l1i_4k_->fill(copy, params_.l1Sharing());
+        if (copy.size == PageSize::Size4K &&
+            l1i_4k_->fill(copy, params_.l1Sharing(),
+                          sink_ ? &evicted : nullptr))
+            noteL1Evicted(proc, evicted);
         return;
     }
     // A data fill can turn a "structure probed before the owner still
     // misses" assumption stale; retire the huge-page L0 slots.
     ++l0_gen_;
-    l1d_[sizeIndex(copy.size)]->fill(copy, params_.l1Sharing());
+    if (l1d_[sizeIndex(copy.size)]->fill(copy, params_.l1Sharing(),
+                                         sink_ ? &evicted : nullptr))
+        noteL1Evicted(proc, evicted);
 }
 
 void
@@ -157,7 +187,10 @@ PipelineBackend::fillL2(const tlb::TlbEntry &entry, vm::Process &proc,
     // recognized; owned entries are tagged with the owner.
     copy.pcid = proc.pcid();
     copy.fill_pcid = proc.pcid();
-    l2_[sizeIndex(copy.size)]->fill(copy, params_.babelfish);
+    tlb::TlbEntry evicted;
+    if (l2_[sizeIndex(copy.size)]->fill(copy, params_.babelfish,
+                                        sink_ ? &evicted : nullptr))
+        noteL2Evicted(proc, evicted);
 }
 
 bool

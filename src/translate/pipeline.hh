@@ -46,6 +46,12 @@ class PipelineBackend : public Backend
     void applyInvalidate(const vm::TlbInvalidate &inv) override;
     void setEpochLog(core::EpochLog *log) override { epoch_log_ = log; }
     void setTracer(trace::Tracer *tracer) override;
+    void setAttrib(attrib::Registry *registry,
+                   attrib::CoreSink *sink) override
+    {
+        areg_ = registry;
+        sink_ = sink;
+    }
     void flushAll() override;
     void resetStats() override;
     void save(snap::ArchiveWriter &ar) const override;
@@ -104,6 +110,20 @@ class PipelineBackend : public Backend
     virtual void restoreExtra(snap::ArchiveReader &ar);
     /** @} */
 
+    /**
+     * @{
+     * @name Eviction attribution (common/attrib)
+     * Book "filler @p proc displaced @p evicted" edges; the victim is
+     * resolved through the owner tag of the displaced entry. No-ops
+     * without a sink. Subclasses with their own fill paths (Victima)
+     * call these with the evicted entry their fill reports.
+     */
+    void noteL1Evicted(const vm::Process &proc,
+                       const tlb::TlbEntry &evicted);
+    void noteL2Evicted(const vm::Process &proc,
+                       const tlb::TlbEntry &evicted);
+    /** @} */
+
     static unsigned sizeIndex(PageSize size)
     {
         return static_cast<unsigned>(size);
@@ -123,6 +143,8 @@ class PipelineBackend : public Backend
     std::unique_ptr<tlb::PageWalker> walker_;
     core::EpochLog *epoch_log_ = nullptr;
     trace::Tracer *tracer_ = nullptr;
+    attrib::Registry *areg_ = nullptr; //!< Victim-slot resolution.
+    attrib::CoreSink *sink_ = nullptr; //!< Per-tenant counter sink.
 
   private:
     /**

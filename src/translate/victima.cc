@@ -41,6 +41,7 @@ VictimaBackend::fillL2(const tlb::TlbEntry &entry, vm::Process &proc,
     tlb::TlbEntry evicted;
     if (l2_[sizeIndex(copy.size)]->fill(copy, params_.babelfish,
                                         &evicted)) {
+        noteL2Evicted(proc, evicted);
         const std::size_t slot = store_.insert(evicted);
         ++spills_;
         // The spill models data-array occupancy of the parked line in

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/attrib/attrib.hh"
 #include "common/logging.hh"
 #include "common/snapshot.hh"
 
@@ -122,6 +123,8 @@ Kernel::createProcess(Ccid ccid, const std::string &name)
     Process *raw = proc.get();
     processes_[pid] = std::move(proc);
     group.members.push_back(pid);
+    if (attrib_)
+        raw->setAttribSlot(attrib_->registerTenant(pid, ccid, pcid, name));
     return raw;
 }
 
@@ -493,6 +496,8 @@ Kernel::privatizeLeafTable(Process &proc, Addr va,
     }
 
     ++cow_privatizations;
+    if (attrib_)
+        attrib_->noteCow(proc.attribSlot());
     if (tracer_)
         tracer_->recordKernel(trace::EventType::CowPrivatize, proc.ccid(),
                               proc.pid(), va);
@@ -652,6 +657,9 @@ Kernel::serviceFault(const DeferredFault &fault)
 FaultOutcome
 Kernel::handleFault(Process &proc, Addr canonical_va, AccessType type)
 {
+    // Any shootdown this fault triggers (CoW privatization, mask-region
+    // revert, raced-fill flush) is billed to the faulting container.
+    noteAttribCauser(proc);
     // Batched service (beginFaultBatch): same-region fault storms skip
     // the linear VMA scan and the root-to-leaf table walk when the memo
     // epoch proves nothing structural changed since the last fault.
@@ -817,6 +825,8 @@ Kernel::fork(Process &parent, const std::string &name, Cycles &work_cycles)
 {
     Process *child = createProcess(parent.ccid(), name);
     work_cycles = params_.fork_base_cycles;
+    // The end-of-fork CoW-protection flush is the parent's doing.
+    noteAttribCauser(parent);
 
     // Children inherit the parent's mappings (objects shared by pointer).
     for (const auto &vma : parent.vmas()) {
@@ -1033,6 +1043,7 @@ Kernel::releaseTablePointer(Group &group, PageTablePage *table)
 Cycles
 Kernel::munmap(Process &proc, Addr start)
 {
+    noteAttribCauser(proc);
     Vma *vma = proc.findVma(start);
     bf_assert(vma && vma->start == start,
               "munmap: no VMA starts at ", start);
@@ -1072,6 +1083,7 @@ Kernel::munmap(Process &proc, Addr start)
 void
 Kernel::exitProcess(Process &proc)
 {
+    noteAttribCauser(proc);
     Group &group = groupOf(proc);
 
     // Release the page-table tree: one pointer drop at the root cascades
@@ -1134,6 +1146,35 @@ void
 Kernel::invalidateTlbs(const TlbInvalidate &inv)
 {
     ++shootdowns;
+    if (attrib_) {
+        // Causer: the container the current kernel entry point stamped.
+        // Every shootdown bills exactly one causer, so the per-tenant
+        // sums reconcile with the global `shootdowns` counter.
+        attrib_->noteShootdownCaused(attrib_causer_slot_,
+                                     inv.ccid != attrib_causer_ccid_);
+        // Receivers: who loses cached translations. Page/Pcid kinds
+        // target one PCID; SharedRange reaches every live group member
+        // (their shared O-clear entries are the ones dropped).
+        if (inv.kind == TlbInvalidate::Kind::SharedRange) {
+            const auto git = groups_.find(inv.ccid);
+            if (git != groups_.end()) {
+                for (const Pid pid : git->second.members) {
+                    const Process *member = processByPid(pid);
+                    if (!member || !member->alive())
+                        continue;
+                    attrib_->noteShootdownReceived(
+                        member->attribSlot(),
+                        member->ccid() != attrib_causer_ccid_);
+                }
+            }
+        } else {
+            const int slot = attrib_->slotOfPcid(inv.pcid);
+            if (slot >= 0)
+                attrib_->noteShootdownReceived(
+                    slot, attrib_->tenant(slot).ccid !=
+                              attrib_causer_ccid_);
+        }
+    }
     if (tracer_)
         tracer_->recordKernel(
             trace::EventType::Shootdown, inv.ccid, 0,

@@ -34,6 +34,11 @@
 #include "vm/process.hh"
 #include "vm/tlb_hooks.hh"
 
+namespace bf::attrib
+{
+class Registry;
+}
+
 namespace bf::vm
 {
 
@@ -273,6 +278,21 @@ class Kernel
      * mmap/munmap) record nothing.
      */
     void setTracer(trace::Tracer *tracer) { tracer_ = tracer; }
+
+    /**
+     * Attach the per-container attribution registry (System wires it;
+     * null detaches). With a registry attached, createProcess registers
+     * every new process as a tenant, CoW privatizations and shootdowns
+     * (caused and received, same- vs cross-group) are booked to the
+     * responsible container, and the kernel entry points (fault
+     * service, fork, munmap, exit) stamp the causing container for
+     * shootdown attribution. All of these run in single-threaded
+     * windows, so booking goes straight into the registry's scalars.
+     */
+    void setAttribRegistry(attrib::Registry *registry)
+    {
+        attrib_ = registry;
+    }
     /** @} */
 
     /** @{ @name Introspection (Fig. 9 pagemap scans, tests) */
@@ -406,6 +426,26 @@ class Kernel
     std::unordered_map<Ppn, PoolPtr<PageTablePage>> tables_;
     TlbInvalidateFn tlb_hook_;
     trace::Tracer *tracer_ = nullptr;
+
+    /**
+     * @{
+     * @name Shootdown attribution (common/attrib)
+     * The kernel entry points stamp the container on whose behalf the
+     * kernel is mutating; invalidateTlbs bills the shootdown it causes
+     * to that slot. Kept as slot + ccid (not a Process*) so a stale
+     * stamp can never dangle.
+     */
+    attrib::Registry *attrib_ = nullptr;
+    int attrib_causer_slot_ = -1;
+    Ccid attrib_causer_ccid_ = invalidCcid;
+
+    void
+    noteAttribCauser(const Process &proc)
+    {
+        attrib_causer_slot_ = proc.attribSlot();
+        attrib_causer_ccid_ = proc.ccid();
+    }
+    /** @} */
 
     /**
      * @{

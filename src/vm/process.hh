@@ -42,6 +42,18 @@ class Process
     bool alive() const { return alive_; }
     void markDead() { alive_ = false; }
 
+    /**
+     * @{
+     * @name Attribution (common/attrib)
+     * Dense tenant slot in the attrib::Registry, -1 when no registry is
+     * attached (standalone kernels, BF_ATTRIB=0). Cached here so the
+     * translate hot path books per-tenant counters without a map
+     * lookup.
+     */
+    int attribSlot() const { return attrib_slot_; }
+    void setAttribSlot(int slot) { attrib_slot_ = slot; }
+    /** @} */
+
     /** VMA containing a canonical VA, or nullptr. */
     Vma *
     findVma(Addr va)
@@ -152,6 +164,7 @@ class Process
     Ccid ccid_;
     std::string name_;
     PageTablePage *pgd_;
+    int attrib_slot_ = -1;
     bool alive_ = true;
     std::vector<Vma> vmas_;
     std::vector<std::pair<Addr, int>> mask_bits_; //!< Sorted by region.

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Edge-case tests for stats::Distribution, the log2-bucketed histogram
+ * behind miss-latency percentiles (global and per-tenant). The
+ * attribution drain folds per-core partial distributions with merge(),
+ * so the merge-equals-interleaved property here underpins the
+ * worker-count determinism of every exported percentile.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/snapshot.hh"
+#include "common/stats.hh"
+
+using bf::stats::Distribution;
+
+// An empty distribution answers every query with zero instead of
+// dividing by zero or walking empty buckets.
+TEST(Distribution, EmptyIsAllZero)
+{
+    Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.sum(), 0u);
+    EXPECT_EQ(d.max(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_EQ(d.percentile(0), 0u);
+    EXPECT_EQ(d.percentile(50), 0u);
+    EXPECT_EQ(d.percentile(100), 0u);
+    EXPECT_TRUE(d.buckets().empty());
+}
+
+// One sample: every percentile lands in its bucket and reports the
+// bucket's lower bound (the documented nearest-rank semantics), while
+// sum/max/mean stay exact.
+TEST(Distribution, SingleSample)
+{
+    Distribution d;
+    d.sample(7); // bucket 2 = [4, 8)
+    EXPECT_EQ(d.count(), 1u);
+    EXPECT_EQ(d.sum(), 7u);
+    EXPECT_EQ(d.max(), 7u);
+    EXPECT_DOUBLE_EQ(d.mean(), 7.0);
+    EXPECT_EQ(d.percentile(0), 4u);
+    EXPECT_EQ(d.percentile(50), 4u);
+    EXPECT_EQ(d.percentile(100), 4u);
+
+    // Value 0 and 1 both land in bucket 0, whose lower bound is 0.
+    Distribution z;
+    z.sample(0);
+    EXPECT_EQ(z.percentile(100), 0u);
+    z.sample(1);
+    EXPECT_EQ(z.count(), 2u);
+    EXPECT_EQ(z.percentile(100), 0u);
+    EXPECT_EQ(z.max(), 1u);
+}
+
+// The top bucket: samples at and beyond 2^63 land in bucket 63 without
+// overflowing the lower-bound shift, and percentile() falls back to
+// max_ when the cumulative walk exhausts the buckets.
+TEST(Distribution, SaturatingTopBucket)
+{
+    Distribution d;
+    d.sample(std::uint64_t{1} << 63);
+    d.sample(~std::uint64_t{0}); // 2^64 - 1, also bucket 63
+    EXPECT_EQ(d.buckets().size(), 64u);
+    EXPECT_EQ(d.buckets()[63], 2u);
+    EXPECT_EQ(d.count(), 2u);
+    EXPECT_EQ(d.max(), ~std::uint64_t{0});
+    EXPECT_EQ(d.percentile(50), std::uint64_t{1} << 63);
+    EXPECT_EQ(d.percentile(100), std::uint64_t{1} << 63);
+}
+
+// Percentiles are monotone in p, and the snapshot round trip preserves
+// them exactly (the attribution subtree rides the same save/restore).
+TEST(Distribution, MonotonicAcrossSnapshotRestore)
+{
+    bf::stats::StatGroup root_a("system");
+    Distribution d_a;
+    root_a.addStat("lat", &d_a);
+    for (std::uint64_t v : {1, 3, 9, 27, 81, 243, 729, 2187, 6561})
+        d_a.sample(v);
+
+    const double ps[] = {0, 10, 25, 50, 75, 90, 95, 99, 100};
+    std::uint64_t prev = 0;
+    for (double p : ps) {
+        const std::uint64_t v = d_a.percentile(p);
+        EXPECT_GE(v, prev) << "non-monotone at p" << p;
+        EXPECT_LE(v, d_a.max());
+        prev = v;
+    }
+
+    bf::snap::ArchiveWriter w;
+    root_a.saveStats(w);
+    bf::stats::StatGroup root_b("system");
+    Distribution d_b;
+    root_b.addStat("lat", &d_b);
+    bf::snap::ArchiveReader r(w.payload());
+    root_b.restoreStats(r);
+
+    for (double p : ps)
+        EXPECT_EQ(d_a.percentile(p), d_b.percentile(p)) << "p" << p;
+    EXPECT_EQ(d_a.buckets(), d_b.buckets());
+    EXPECT_EQ(d_a.sum(), d_b.sum());
+    EXPECT_EQ(d_a.max(), d_b.max());
+}
+
+// merge() is bit-equivalent to having sampled everything into one
+// distribution, regardless of how the samples were split — the property
+// the per-core attribution drain depends on.
+TEST(Distribution, MergeEqualsInterleaved)
+{
+    Distribution whole, part_a, part_b;
+    for (std::uint64_t i = 0; i < 200; ++i) {
+        const std::uint64_t v = (i * 2654435761u) % 100000;
+        whole.sample(v);
+        (i % 3 ? part_a : part_b).sample(v);
+    }
+    part_a.merge(part_b);
+    EXPECT_EQ(part_a.count(), whole.count());
+    EXPECT_EQ(part_a.sum(), whole.sum());
+    EXPECT_EQ(part_a.max(), whole.max());
+    EXPECT_EQ(part_a.buckets(), whole.buckets());
+    for (double p : {50.0, 95.0, 99.0})
+        EXPECT_EQ(part_a.percentile(p), whole.percentile(p));
+
+    // Merging an empty distribution is a no-op in both directions.
+    Distribution empty;
+    part_a.merge(empty);
+    EXPECT_EQ(part_a.buckets(), whole.buckets());
+    empty.merge(whole);
+    EXPECT_EQ(empty.buckets(), whole.buckets());
+    EXPECT_EQ(empty.max(), whole.max());
+}

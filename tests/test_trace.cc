@@ -248,6 +248,53 @@ TEST(Tracer, CorruptedFileRejected)
                  trace::TraceError);
 }
 
+// v3 stamps the container-attribution slot into the record's final u16
+// (v2's zero pad) via the pid → slot resolver; unresolvable pids keep
+// noCslot, and the value round-trips through the file.
+TEST(Tracer, CslotStampedAndRoundTrips)
+{
+    const std::string path = tmpPath("cslot.trace");
+    {
+        trace::Tracer tracer(path, 1);
+        tracer.setSlotLookup([](std::uint32_t pid) {
+            return pid == 42 ? 3 : -1;
+        });
+        tracer.record(0, trace::EventType::TlbMiss, 10, 0, 42, 0x1000);
+        tracer.record(0, trace::EventType::TlbMiss, 20, 0, 99, 0x2000);
+        tracer.finish();
+    }
+    const auto recs = readAll(path);
+    ASSERT_EQ(recs.size(), 2u);
+    EXPECT_EQ(recs[0].cslot, 3u);
+    EXPECT_EQ(recs[1].cslot, trace::noCslot);
+    EXPECT_NO_THROW(trace::validateTrace(path));
+}
+
+// Reading a v2 file still works — every byte layout is identical — but
+// the pad-turned-cslot field is forced to noCslot so old traces can
+// never fabricate an attribution to slot 0 (or whatever the pad held).
+TEST(Tracer, V2FilesReadWithCslotForcedToNone)
+{
+    const std::string path = tmpPath("v2compat.trace");
+    {
+        trace::Tracer tracer(path, 1);
+        tracer.setSlotLookup([](std::uint32_t) { return 5; });
+        tracer.record(0, trace::EventType::TlbMiss, 10, 0, 42, 0x1000);
+        tracer.finish();
+    }
+    auto bytes = slurp(path);
+    bytes[8] = 2; // version word is little-endian u32 at offset 8
+    spit(path, bytes);
+
+    trace::TraceReader reader(path);
+    EXPECT_EQ(reader.header().version, 2u);
+    std::vector<trace::Record> block;
+    ASSERT_TRUE(reader.nextBlock(block));
+    ASSERT_EQ(block.size(), 1u);
+    EXPECT_EQ(block[0].cslot, trace::noCslot);
+    EXPECT_EQ(block[0].pid, 42u); // everything else decodes as before
+}
+
 // ---------------------------------------------------------------------
 // System-level determinism
 // ---------------------------------------------------------------------

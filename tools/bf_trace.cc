@@ -13,10 +13,13 @@
  *       mode proves the bytes are also *well-formed*.
  *
  *   bf_trace --summary <trace>
- *       Per-event-type and per-CCID record counts as stable,
- *       grep-friendly lines ("event <name> <count>", "ccid <id>
+ *       Per-event-type, per-CCID, per-core and per-container record
+ *       counts as stable, grep-friendly lines ("event <name> <count>",
+ *       "ccid <id> <count>", "core <id> <count>", "container <slot>
  *       <count>"), plus page-walk latency aggregates from WalkEnd
- *       events.
+ *       events. The container slot is the v3 Record::cslot attribution
+ *       tag; records without one (v2 traces, kernel-context events with
+ *       no registered process) aggregate under "container none".
  *
  *   bf_trace --chrome <trace> [-o <out.json>]
  *       Convert to Chrome trace-event JSON ({"traceEvents":[...]})
@@ -82,6 +85,8 @@ runSummary(const std::string &path)
 
     std::uint64_t per_type[bf::trace::numEventTypes] = {};
     std::map<std::uint16_t, std::uint64_t> per_ccid;
+    std::map<std::uint16_t, std::uint64_t> per_core;
+    std::map<std::uint16_t, std::uint64_t> per_cslot;
     std::uint64_t walks = 0, walk_cycles = 0;
     std::uint64_t walk_min = ~0ull, walk_max = 0;
 
@@ -92,6 +97,8 @@ runSummary(const std::string &path)
             ++records;
             ++per_type[rec.type];
             ++per_ccid[rec.ccid];
+            ++per_core[rec.core];
+            ++per_cslot[rec.cslot];
             if (rec.type ==
                 static_cast<std::uint8_t>(EventType::WalkEnd)) {
                 ++walks;
@@ -115,6 +122,15 @@ runSummary(const std::string &path)
     }
     for (const auto &[ccid, count] : per_ccid)
         std::printf("ccid %u %" PRIu64 "\n", unsigned(ccid), count);
+    for (const auto &[core, count] : per_core)
+        std::printf("core %u %" PRIu64 "\n", unsigned(core), count);
+    for (const auto &[cslot, count] : per_cslot) {
+        if (cslot == bf::trace::noCslot)
+            std::printf("container none %" PRIu64 "\n", count);
+        else
+            std::printf("container %u %" PRIu64 "\n", unsigned(cslot),
+                        count);
+    }
     if (walks) {
         std::printf("walk_latency_min %" PRIu64 "\n", walk_min);
         std::printf("walk_latency_max %" PRIu64 "\n", walk_max);

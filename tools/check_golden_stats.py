@@ -22,6 +22,11 @@ Ignored fields, by design:
   - config.batch        (core prefetch batching, BF_BATCH; a host-side
                          pull-ahead of the per-thread reference streams
                          with stats identical at any value)
+  - config.ckpt_dir, config.restore_dir
+                        (BF_CKPT / BF_RESTORE paths; the save/restore
+                         round-trip gate proves checkpointing changes
+                         no stats, so where the archive lives is
+                         host-side bookkeeping)
   - host, notes         (host wall-clock / sim-MIPS and bookkeeping)
   - series              (present for completeness; compared when both
                          sides have it)
@@ -29,6 +34,8 @@ Ignored fields, by design:
 Usage:
   check_golden_stats.py --bench PATH --golden GOLDEN.json [--update]
   check_golden_stats.py --json PRODUCED.json --golden GOLDEN.json
+  check_golden_stats.py --bench PATH --reconcile [--golden GOLDEN.json]
+  check_golden_stats.py --json PRODUCED.json --reconcile
 
 With --bench the bench is run under the pinned environment
 (BF_FAST=1 BF_SAMPLE_MS=0 BF_JOBS=1 BF_WORKERS=1 BF_SYNC_CHUNK=20000)
@@ -50,11 +57,28 @@ expected to drift whenever their model evolves, so their drift is
 reported as an advisory (distinct exit code) rather than a hard
 failure — CI surfaces it without going red.
 
+--reconcile checks the produced report *against itself*: for every run
+whose "tenants" array is non-empty, the per-container rows must sum to
+the matching global counters in that run's stats tree bit-for-bit
+(DESIGN.md §17) — the 14 MMU translation scalars and the miss-latency
+distribution against the sum over core*.mmu, walks against
+core*.mmu.walker, instructions against core*, cow_privatizations and
+shootdowns against the kernel group. Runs without attribution
+(BF_ATTRIB=0) are skipped, but if *no* run carried attribution the
+check is vacuous and fails as a bench error. --reconcile composes with
+every other flag: with --golden both checks run (reconcile first);
+with --backend the reconciliation failure is always hard — every
+backend owes attribution consistency, the advisory carve-out covers
+golden drift only. --golden is optional when --reconcile is given (a
+reconcile-only invocation needs no committed file) and required
+otherwise.
+
 Exit codes distinguish the failure classes so CI can tell them apart:
-  0  stats match (or golden updated)
-  1  STAT DRIFT: the reference backend's stats diverge — hard failure
-  2  usage error (argparse)
-  3  BENCH FAILED: the bench crashed or produced no report
+  0  stats match / tenant sums reconcile (or golden updated)
+  1  STAT DRIFT or RECONCILE FAILED — hard failure
+  2  usage error (bad flag combination; argparse prints the reason)
+  3  BENCH FAILED: the bench crashed, produced no report, or
+     --reconcile found no attributed runs to check
   4  ADVISORY DRIFT: a non-reference --backend diverges — informational
 """
 
@@ -67,7 +91,8 @@ import tempfile
 
 # Top-level keys that describe the host, not the modeled machine.
 IGNORED_TOP_LEVEL = ("schema_version", "host", "notes")
-IGNORED_CONFIG_KEYS = ("jobs", "workers", "weave_workers", "batch")
+IGNORED_CONFIG_KEYS = ("jobs", "workers", "weave_workers", "batch",
+                       "ckpt_dir", "restore_dir")
 
 PINNED_ENV = {
     "BF_FAST": "1",
@@ -130,6 +155,107 @@ EXIT_DRIFT = 1
 EXIT_BENCH_FAILED = 3
 EXIT_ADVISORY_DRIFT = 4
 
+# Per-tenant counters that mirror translate::TranslateStats member for
+# member; each must sum (over the "tenants" rows) to the sum of the
+# same-named scalar over every core's mmu group. DRAM interference
+# extras are deliberately absent: they are billed shares of a shared
+# resource, not mirrors of one global counter.
+MMU_SCALARS = (
+    "l1_hits", "l1_misses", "l2_data_hits", "l2_data_misses",
+    "l2_instr_hits", "l2_instr_misses", "l2_data_shared_hits",
+    "l2_instr_shared_hits", "l2_long_accesses", "minor_faults",
+    "major_faults", "cow_faults", "shared_installs", "fault_cycles",
+)
+
+
+def core_groups(stats):
+    """The per-core stat groups (children named core<N>) of one run."""
+    children = stats.get("children", {})
+    return [group for name, group in sorted(children.items())
+            if name.startswith("core") and name[len("core"):].isdigit()]
+
+
+def reconcile_run(label, run, problems):
+    """Check one run's tenant rows against its global counters.
+
+    Appends (path, global, tenant_sum) triples for every divergence.
+    Returns True when the run carried attribution data and was checked,
+    False when it was skipped (empty "tenants", i.e. BF_ATTRIB=0).
+    """
+    tenants = run.get("tenants") or []
+    if not tenants:
+        return False
+    stats = run.get("stats") or {}
+    cores = core_groups(stats)
+    kernel = stats.get("children", {}).get("kernel", {})
+
+    def tenant_sum(key):
+        return sum(row[key] for row in tenants)
+
+    def check(name, global_value, tenant_value):
+        if global_value != tenant_value:
+            problems.append((f"{label}.{name}", global_value,
+                             tenant_value))
+
+    for key in MMU_SCALARS:
+        check(key,
+              sum(c["children"]["mmu"]["scalars"][key] for c in cores),
+              tenant_sum(key))
+    check("walks",
+          sum(c["children"]["mmu"]["children"]["walker"]["scalars"]
+              ["walks"] for c in cores),
+          tenant_sum("walks"))
+    check("instructions",
+          sum(c["scalars"]["instructions"] for c in cores),
+          tenant_sum("instructions"))
+    check("cow_privatizations",
+          kernel.get("scalars", {}).get("cow_privatizations", 0),
+          tenant_sum("cow_privatizations"))
+    check("shootdowns_caused",
+          kernel.get("scalars", {}).get("shootdowns", 0),
+          tenant_sum("shootdowns_caused"))
+
+    # The miss-latency distribution: count and sum are additive, max is
+    # a max-reduction. Percentiles are derived values, so the three
+    # moments here pin the same underlying buckets the percentiles read.
+    lat = [c["children"]["mmu"]["distributions"]["miss_latency"]
+           for c in cores]
+    rows = [row["miss_latency"] for row in tenants]
+    check("miss_latency.count", sum(d["count"] for d in lat),
+          sum(r["count"] for r in rows))
+    check("miss_latency.sum", sum(d["sum"] for d in lat),
+          sum(r["sum"] for r in rows))
+    check("miss_latency.max", max((d["max"] for d in lat), default=0),
+          max((r["max"] for r in rows), default=0))
+    return True
+
+
+def reconcile(produced):
+    """Run the tenant-vs-global check over every run; exit on failure."""
+    problems = []
+    checked = skipped = 0
+    for label, run in produced.get("runs", {}).items():
+        if reconcile_run(label, run, problems):
+            checked += 1
+        else:
+            skipped += 1
+    if problems:
+        print(f"RECONCILE FAILED: {len(problems)} per-tenant sums "
+              f"diverge from the global counters "
+              f"(- global, + sum over tenants)")
+        for path, global_value, tenant_value in problems:
+            print(f"  - {path}: {global_value!r}")
+            print(f"  + {path}: {tenant_value!r}")
+        sys.exit(EXIT_DRIFT)
+    if checked == 0:
+        print("BENCH FAILED: --reconcile found no runs with attribution "
+              "data (was the bench run with BF_ATTRIB=0?)",
+              file=sys.stderr)
+        sys.exit(EXIT_BENCH_FAILED)
+    note = f", {skipped} without attribution skipped" if skipped else ""
+    print(f"tenant sums reconcile with the global counters "
+          f"({checked} run(s) checked{note})")
+
 # The backend whose stats the goldens pin down (MmuParams default).
 REFERENCE_BACKEND = "babelfish"
 
@@ -164,19 +290,29 @@ def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--bench", help="bench binary to run deterministically")
     ap.add_argument("--json", help="pre-produced BENCH_*.json to check")
-    ap.add_argument("--golden", required=True, help="committed golden file")
+    ap.add_argument("--golden",
+                    help="committed golden file (required unless the "
+                         "invocation is reconcile-only)")
     ap.add_argument("--update", action="store_true",
                     help="rewrite the golden file from the produced output")
     ap.add_argument("--backend",
-                    help="run the bench under BF_BACKEND=NAME; drift of a "
-                         f"non-{REFERENCE_BACKEND} backend is advisory "
-                         f"(exit {EXIT_ADVISORY_DRIFT}), not a failure")
+                    help="run the bench under BF_BACKEND=NAME; golden "
+                         f"drift of a non-{REFERENCE_BACKEND} backend is "
+                         f"advisory (exit {EXIT_ADVISORY_DRIFT}), not a "
+                         "failure — reconcile failures stay hard")
+    ap.add_argument("--reconcile", action="store_true",
+                    help="check that each run's per-tenant rows sum to "
+                         "its global counters bit-for-bit")
     args = ap.parse_args()
     if bool(args.bench) == bool(args.json):
         ap.error("exactly one of --bench / --json is required")
     if args.json and args.backend:
         ap.error("--backend requires --bench (it sets the bench's "
                  "BF_BACKEND)")
+    if not args.golden and not args.reconcile:
+        ap.error("nothing to check: give --golden, --reconcile, or both")
+    if args.update and not args.golden:
+        ap.error("--update requires --golden (it rewrites that file)")
 
     if args.bench:
         with tempfile.TemporaryDirectory() as tmp:
@@ -186,6 +322,13 @@ def main():
     else:
         with open(args.json) as f:
             produced = json.load(f)
+
+    # Reconcile first: a golden should never be updated (or matched)
+    # from a report whose attribution does not add up.
+    if args.reconcile:
+        reconcile(produced)
+        if not args.golden:
+            return
 
     if args.update:
         with open(args.golden, "w") as f:
